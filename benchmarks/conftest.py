@@ -1,0 +1,55 @@
+"""Benchmark fixtures.
+
+Two contexts:
+
+- ``bench_ctx`` ("small" preset, 32-config banks) for every bank-driven
+  figure (3, 4, 5, 6, 7, 9, 10, 11, 12, 14). Banks are prebuilt here so
+  individual benchmarks time the *experiment*, not substrate training.
+- ``live_ctx`` ("test" preset) for the live tuning-method figures
+  (1, 8, 15, 16) and the per-span banks of figure 13, where model training
+  is the measured work.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def bench_ctx():
+    ctx = ExperimentContext(preset="small", seed=0, n_bank_configs=32)
+    # Prebuild all banks (cifar10 with stored params for the Figure-4
+    # repartitioning experiment) so bench timings exclude substrate training.
+    ctx.bank("cifar10", store_params=True)
+    for name in ("femnist", "stackoverflow", "reddit"):
+        ctx.bank(name)
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def live_ctx():
+    ctx = ExperimentContext(preset="test", seed=0, n_bank_configs=16)
+    ctx.bank("cifar10")
+    ctx.bank("femnist")
+    return ctx
+
+
+@pytest.fixture(scope="session")
+def method_comparison(live_ctx):
+    """Shared live RS/TPE/HB/BOHB runs consumed by Figures 1, 8, 15, 16."""
+    from repro.experiments import run_method_comparison
+
+    return run_method_comparison(
+        live_ctx,
+        dataset_names=("cifar10",),
+        methods=("rs", "tpe", "hb", "bohb"),
+        n_trials=3,
+        budget_points=8,
+    )
+
+
+def by(records, **filters):
+    """Filter records by exact field values (assert non-empty)."""
+    out = [r for r in records if all(r.get(k) == v for k, v in filters.items())]
+    assert out, f"no records matching {filters}"
+    return out

@@ -1,0 +1,137 @@
+"""Ablation benches for design choices called out in DESIGN.md §5.
+
+1. Evaluation weighting: uniform vs example-weighted aggregation.
+2. Privacy selection mechanism: per-release Laplace values vs the
+   one-shot Laplace top-k mechanism (Qiao et al., 2021).
+3. Bank-bootstrap validity: bootstrapped RS vs freshly trained RS.
+4. Subsampling with vs without replacement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NoiseConfig,
+    RandomSearch,
+    oneshot_laplace_topk,
+    oneshot_topk_scale,
+    value_release_scale,
+)
+from repro.experiments import (
+    bank_config_source,
+    BankTrialRunner,
+    bootstrap_rs_final_errors,
+)
+from repro.utils.rng import RngFactory
+
+
+def test_ablation_weighting_scheme(benchmark, bench_ctx):
+    """Uniform vs weighted aggregation under subsampling: both follow the
+    same downward-in-clients trend; with heavy-tailed client sizes the two
+    objectives rank configs differently."""
+    bank = bench_ctx.bank("reddit")  # strongest size skew
+
+    def run():
+        out = {}
+        for scheme in ("weighted", "uniform"):
+            errs = bootstrap_rs_final_errors(
+                bank, NoiseConfig(subsample=3, scheme=scheme), n_trials=40, k=16, seed=0
+            )
+            out[scheme] = float(np.median(errs))
+        return out
+
+    medians = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nAblation (weighting, reddit, 3 clients): {medians}")
+    for scheme, median in medians.items():
+        assert 0.0 <= median <= 1.0, scheme
+
+
+def test_ablation_oneshot_topk_vs_value_release(benchmark):
+    """The one-shot top-k mechanism wins selections more often than
+    selecting on per-release noisy values when many configs are compared
+    under the same ε — the reason the paper uses it for eliminations."""
+
+    def run():
+        rng = np.random.default_rng(0)
+        scores = np.linspace(0.2, 0.8, 16)  # accuracies; best = index 15
+        eps, cohort, releases, rounds = 1.0, 10, 16, 1
+        value_scale = value_release_scale(eps, cohort, releases)
+        topk_scale = oneshot_topk_scale(eps, cohort, rounds, k=1)
+        wins_value = wins_topk = 0
+        trials = 600
+        for _ in range(trials):
+            noisy_vals = scores + rng.laplace(0, value_scale, size=scores.size)
+            wins_value += int(np.argmax(noisy_vals) == 15)
+            wins_topk += int(oneshot_laplace_topk(scores, 1, topk_scale, rng)[0] == 15)
+        return wins_value / trials, wins_topk / trials
+
+    win_value, win_topk = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nAblation (selection): value-release win={win_value:.2f}, one-shot top-k win={win_topk:.2f}")
+    assert win_topk >= win_value - 0.05
+
+
+def test_ablation_bootstrap_vs_fresh_rs(benchmark, live_ctx):
+    """The bank bootstrap (the paper's §3 methodology) matches freshly run
+    RS in distribution: medians over trials agree within tolerance."""
+    from repro.experiments import make_tuner
+    from repro.experiments.fig_methods import PAPER_NOISELESS
+
+    bank = live_ctx.bank("cifar10")
+
+    def run():
+        boot = bootstrap_rs_final_errors(bank, NoiseConfig(), n_trials=30, k=8, seed=0)
+        fresh = []
+        for t in range(4):
+            rngs = RngFactory(1000 + t)
+            runner = BankTrialRunner(bank)
+            rs = RandomSearch(
+                live_ctx.space,
+                runner,
+                NoiseConfig(),
+                n_configs=8,
+                total_budget=8 * bank.max_rounds,
+                seed=rngs.make("eval"),
+                config_source=bank_config_source(bank, rngs.make("cfg")),
+            )
+            fresh.append(rs.run().final_full_error)
+        live = [
+            make_tuner("rs", live_ctx, "cifar10", PAPER_NOISELESS, seed=2000 + t, k=8)
+            .run()
+            .final_full_error
+            for t in range(4)
+        ]
+        return float(np.median(boot)), float(np.median(fresh)), float(np.median(live))
+
+    boot_med, fresh_med, live_med = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        f"\nAblation (bootstrap validity): bank bootstrap={boot_med:.3f}, "
+        f"fresh bank draws={fresh_med:.3f}, live RS={live_med:.3f}"
+    )
+    # Bootstrapped and freshly-drawn bank RS estimate the same quantity.
+    assert abs(boot_med - fresh_med) < 0.25
+    # Live RS (new configs, live training) lands in the same regime.
+    assert abs(boot_med - live_med) < 0.35
+
+
+def test_ablation_subsample_with_replacement(benchmark, bench_ctx):
+    """Sampling evaluation cohorts *with* replacement (instead of the
+    paper's without-replacement) increases estimator variance."""
+    bank = bench_ctx.bank("cifar10")
+    rates = bank.errors[:, -1, :]
+
+    def run():
+        rng = np.random.default_rng(0)
+        n_clients = rates.shape[1]
+        cfg = int(np.argsort(bank.full_errors())[len(bank.full_errors()) // 2])
+        size = max(3, n_clients // 4)
+        without, with_r = [], []
+        for _ in range(800):
+            idx = rng.choice(n_clients, size=size, replace=False)
+            without.append(rates[cfg, idx].mean())
+            idx = rng.choice(n_clients, size=size, replace=True)
+            with_r.append(rates[cfg, idx].mean())
+        return float(np.std(without)), float(np.std(with_r))
+
+    std_without, std_with = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nAblation (replacement): std without={std_without:.4f}, with={std_with:.4f}")
+    assert std_with >= std_without

@@ -1,0 +1,39 @@
+"""Figure 1: the headline bars.
+
+CIFAR10-like at 1/3 budget, noiseless vs noisy (1% clients + ε = 100),
+for RS/TPE/HB/BOHB plus the one-shot proxy RS baseline, which is identical
+in both settings because it never evaluates on (noisy) client data."""
+
+import pytest
+
+from repro.experiments import format_table, run_figure1
+
+
+def test_fig1_headline(benchmark, live_ctx, method_comparison):
+    records = benchmark.pedantic(
+        lambda: run_figure1(live_ctx, comparison=method_comparison),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            records,
+            ("method", "setting", "full_error"),
+            title="Figure 1: CIFAR10-like @ 1/3 budget",
+        )
+    )
+
+    def bar(method, setting):
+        return next(r.full_error for r in records if r.method == method and r.setting == setting)
+
+    # Proxy RS is exactly noise-invariant.
+    assert bar("rs_proxy", "noiseless") == pytest.approx(bar("rs_proxy", "noisy"))
+    # All five methods are present in both settings.
+    methods = {r.method for r in records}
+    assert methods == {"rs", "tpe", "hb", "bohb", "rs_proxy"}
+    # Noise does not help the field: the mean noisy bar is no better than
+    # the mean noiseless bar.
+    clean = sum(bar(m, "noiseless") for m in methods) / len(methods)
+    noisy = sum(bar(m, "noisy") for m in methods) / len(methods)
+    assert noisy >= clean - 0.05

@@ -1,0 +1,33 @@
+"""Figures 10 and 14: hyperparameter transfer across dataset pairs
+(Observation 7).
+
+Each of the shared bank configs is trained on both datasets of a pair;
+matched pairs (image/image, text/text) should correlate positively —
+E.6 expectation 7."""
+
+from repro.experiments import (
+    MATCHED_PAIRS,
+    MISMATCHED_PAIRS,
+    format_table,
+    run_transfer_scatter,
+    transfer_correlation,
+)
+from repro.utils.records import Record
+
+
+def test_fig10_fig14_transfer(benchmark, bench_ctx):
+    pairs = MATCHED_PAIRS + MISMATCHED_PAIRS
+    records = benchmark.pedantic(
+        lambda: run_transfer_scatter(bench_ctx, pairs=pairs), rounds=1, iterations=1
+    )
+    rows = []
+    for a, b in pairs:
+        rho = transfer_correlation(records, f"{a}/{b}")
+        kind = "matched" if (a, b) in MATCHED_PAIRS else "mismatched"
+        rows.append(Record(pair=f"{a}/{b}", kind=kind, spearman=rho))
+    print()
+    print(format_table(rows, ("pair", "kind", "spearman"), title="Figures 10/14: HP transfer"))
+    by_pair = {r.pair: r.spearman for r in rows}
+    # Expectation 7: matched pairs correlate positively.
+    assert by_pair["cifar10/femnist"] > 0.3
+    assert by_pair["stackoverflow/reddit"] > 0.3

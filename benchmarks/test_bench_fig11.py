@@ -1,0 +1,42 @@
+"""Figure 11: the one-shot proxy RS matrix.
+
+Tune on proxy data (noiseless, public), train the winner on the client
+dataset. Matched-task proxies should be competitive with self-tuning;
+mismatched proxies can be much worse."""
+
+import numpy as np
+
+from repro.experiments import format_table, run_figure11
+
+N_TRIALS = 40
+
+
+def test_fig11_proxy_matrix(benchmark, bench_ctx):
+    records = benchmark.pedantic(
+        lambda: run_figure11(bench_ctx, n_trials=N_TRIALS, k=16), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            records,
+            ("client", "proxy", "q25", "median", "q75"),
+            title=f"Figure 11: one-shot proxy RS ({N_TRIALS} trials)",
+        )
+    )
+
+    def med(client, proxy):
+        return next(r.median for r in records if r.client == client and r.proxy == proxy)
+
+    names = ("cifar10", "femnist", "stackoverflow", "reddit")
+    for name in names:
+        others = [med(name, p) for p in names if p != name]
+        # Self-proxy (tune on your own task, noiselessly) is strong.
+        assert med(name, name) <= max(others) + 0.02, name
+        # Observation 7: HPs transfer — the *best* available proxy is
+        # competitive with tuning on the client task itself.
+        assert min(others) <= med(name, name) + 0.06, name
+        # Every proxy beats picking a configuration at random (the paper's
+        # usefulness bar): median proxy pick < median config in the pool.
+        random_pick = float(np.median(bench_ctx.bank(name).full_errors()))
+        for p in names:
+            assert med(name, p) <= random_pick + 0.02, (name, p)

@@ -1,0 +1,40 @@
+"""Figure 13 (Appendix C): search-space width x noise.
+
+Nested server-lr ranges (log10 spans 1-4) centred on 1e-3. Noiseless: a
+wider space can only improve the pool's best config. Noisy (1 client,
+ε = 10): wider spaces admit more bad configs for noise to promote, so the
+noisy-selection penalty grows with the span."""
+
+import numpy as np
+
+from repro.experiments import format_table, run_figure13
+
+SPANS = (1.0, 2.0, 3.0, 4.0)
+
+
+def test_fig13_hpspace_width(benchmark, live_ctx):
+    records = benchmark.pedantic(
+        lambda: run_figure13(
+            live_ctx, dataset_name="cifar10", spans=SPANS, n_configs=12, n_trials=20, k=12
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            records,
+            ("dataset", "log10_span", "noiseless", "noisy_q25", "noisy_median", "noisy_q75"),
+            title="Figure 13: server-lr span vs noise (1 client, eps=10)",
+        )
+    )
+    recs = sorted(records, key=lambda r: r.log10_span)
+    # Noiseless: widening the space never hurts the pool optimum (weak
+    # form: widest <= narrowest + tolerance for sampling effects).
+    assert recs[-1].noiseless <= recs[0].noiseless + 0.05
+    # Noisy selection pays a penalty over noiseless in every span.
+    for r in recs:
+        assert r.noisy_median >= r.noiseless - 1e-9
+    # The noisy-selection penalty grows with the span (wide vs narrow).
+    penalty = {r.log10_span: r.noisy_median - r.noiseless for r in recs}
+    assert penalty[4.0] >= penalty[1.0] - 0.05

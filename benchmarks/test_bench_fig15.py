@@ -1,0 +1,26 @@
+"""Figure 15: method bars at 1/3 of the tuning budget (~2000 of 6480
+rounds). Hatched-bar degradation = noisy (1% clients + ε=100) minus
+noiseless."""
+
+import pytest
+
+from repro.experiments import bars_at_budget, format_table
+
+METHODS = ("rs", "tpe", "hb", "bohb")
+
+
+def test_fig15_bars_third_budget(benchmark, method_comparison):
+    bars = benchmark.pedantic(
+        lambda: bars_at_budget(method_comparison, budget_fraction=1 / 3), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            bars,
+            ("dataset", "method", "setting", "budget", "median"),
+            title="Figure 15: error at 1/3 budget (noiseless vs noisy)",
+        )
+    )
+    assert len(bars) == len(METHODS) * 2
+    for bar in bars:
+        assert 0.0 <= bar.median <= 1.0

@@ -1,0 +1,30 @@
+"""Figure 16: method bars at the full tuning budget (6480 rounds, scaled).
+
+Same runs as Figure 15 read at the final budget; noise keeps hurting even
+with the full budget spent."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import bars_at_budget, format_table
+
+METHODS = ("rs", "tpe", "hb", "bohb")
+
+
+def test_fig16_bars_full_budget(benchmark, method_comparison):
+    bars = benchmark.pedantic(
+        lambda: bars_at_budget(method_comparison, budget_fraction=1.0), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            bars,
+            ("dataset", "method", "setting", "budget", "median"),
+            title="Figure 16: error at full budget (noiseless vs noisy)",
+        )
+    )
+    assert len(bars) == len(METHODS) * 2
+    # Noise degrades the field on average even at full budget.
+    noisy = np.mean([b.median for b in bars if b.setting == "noisy"])
+    clean = np.mean([b.median for b in bars if b.setting == "noiseless"])
+    assert noisy >= clean - 0.05

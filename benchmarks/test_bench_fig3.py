@@ -1,0 +1,35 @@
+"""Figure 3: subsampling degrades random search (paper Observation 1).
+
+Regenerates the full four-dataset sweep and asserts E.6 expectation 1:
+error trends down as the subsampled client count grows, with "Best HPs"
+as a lower reference."""
+
+import numpy as np
+
+from repro.experiments import format_table, run_figure3
+
+N_TRIALS = 60
+
+
+def test_fig3_subsampling(benchmark, bench_ctx):
+    records = benchmark.pedantic(
+        lambda: run_figure3(bench_ctx, n_trials=N_TRIALS, k=16), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            records,
+            ("dataset", "subsample_count", "subsample_pct", "q25", "median", "q75", "best_hps"),
+            title=f"Figure 3 (median/quartiles over {N_TRIALS} bootstrap RS trials)",
+        )
+    )
+    for name in ("cifar10", "femnist", "stackoverflow", "reddit"):
+        rows = sorted((r for r in records if r.dataset == name), key=lambda r: r.subsample_count)
+        # Expectation 1: single-client evaluation is no better than full.
+        assert rows[0].median >= rows[-1].median - 1e-9, name
+        # Full evaluation approaches (never beats) the pool's best config.
+        assert rows[-1].median >= rows[-1].best_hps - 1e-9, name
+        # Median column is loosely decreasing: allow small non-monotonic
+        # wiggles but require the overall downward trend.
+        medians = np.array([r.median for r in rows])
+        assert medians[0] - medians[-1] >= -0.01, name

@@ -1,0 +1,37 @@
+"""Figure 5: the budget/subsampling tradeoff (Observation 2).
+
+Online RS curves per subsampling rate; E.6 expectation 2: curves trend
+down with budget and the 1-client curve stays above the full-evaluation
+curve as the budget is spent."""
+
+import numpy as np
+
+from repro.experiments import format_series, run_figure5
+
+N_TRIALS = 60
+
+
+def test_fig5_budget_tradeoff(benchmark, bench_ctx):
+    records = benchmark.pedantic(
+        lambda: run_figure5(bench_ctx, n_trials=N_TRIALS, k=16), rounds=1, iterations=1
+    )
+    print()
+    for name in ("cifar10", "femnist", "stackoverflow", "reddit"):
+        rows = [r for r in records if r.dataset == name]
+        counts = sorted({r.subsample_count for r in rows})
+        budgets = sorted({r.budget_rounds for r in rows})
+        series = {
+            f"{c}_clients": [
+                next(r.median for r in rows if r.subsample_count == c and r.budget_rounds == b)
+                for b in budgets
+            ]
+            for c in counts
+        }
+        print(format_series(series, budgets, x_label="budget", title=f"Figure 5: {name}"))
+        print()
+        full = np.array(series[f"{counts[-1]}_clients"])
+        one = np.array(series[f"{counts[0]}_clients"])
+        # Curves trend down with budget.
+        assert full[-1] <= full[0] + 1e-9, name
+        # The subsampled curve ends at or above the full-evaluation curve.
+        assert one[-1] >= full[-1] - 0.01, name

@@ -1,0 +1,43 @@
+"""Figure 6: systems heterogeneity / biased participation (Observation 4).
+
+Evaluation sampling is biased towards high-accuracy clients with weight
+(a + δ)^b; E.6 expectation 4: on datasets with "lucky client" structure
+(CIFAR10-like, Reddit-like) larger b raises the selected config's error."""
+
+from repro.experiments import format_table, run_figure6
+
+N_TRIALS = 60
+
+
+def test_fig6_systems_heterogeneity(benchmark, bench_ctx):
+    records = benchmark.pedantic(
+        lambda: run_figure6(
+            bench_ctx,
+            dataset_names=("cifar10", "femnist", "stackoverflow", "reddit"),
+            bias_levels=(0.0, 1.0, 1.5, 3.0),
+            n_trials=N_TRIALS,
+            k=16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            records,
+            ("dataset", "bias_b", "subsample_count", "q25", "median", "q75"),
+            title="Figure 6 (bias exponent x subsampling)",
+        )
+    )
+
+    def med(name, b, count):
+        return next(
+            r.median
+            for r in records
+            if r.dataset == name and r.bias_b == b and r.subsample_count == count
+        )
+
+    # Expectation 4: strong bias at low subsampling hurts on CIFAR10-like
+    # and Reddit-like (the lucky-client datasets).
+    for name in ("cifar10", "reddit"):
+        assert med(name, 3.0, 1) >= med(name, 0.0, 1) - 0.02, name

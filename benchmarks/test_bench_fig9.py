@@ -1,0 +1,48 @@
+"""Figure 9: differential privacy x subsampling (Observation 5).
+
+RS under evaluation budgets ε ∈ {0.1, 1, 10, 100, ∞}; E.6 expectation 5:
+smaller ε gives larger error, and recovering performance under DP needs a
+larger raw number of clients."""
+
+from repro.experiments import format_table, run_figure9
+
+N_TRIALS = 60
+
+
+def test_fig9_privacy(benchmark, bench_ctx):
+    records = benchmark.pedantic(
+        lambda: run_figure9(
+            bench_ctx,
+            dataset_names=("cifar10", "femnist", "stackoverflow", "reddit"),
+            n_trials=N_TRIALS,
+            k=16,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            records,
+            ("dataset", "epsilon", "subsample_count", "q25", "median", "q75"),
+            title="Figure 9 (privacy budget x subsampling, uniform weighting)",
+        )
+    )
+
+    def med(name, eps, count):
+        return next(
+            r.median
+            for r in records
+            if r.dataset == name and r.epsilon == eps and r.subsample_count == count
+        )
+
+    for name in ("cifar10", "femnist", "stackoverflow", "reddit"):
+        full = max(r.subsample_count for r in records if r.dataset == name)
+        # Expectation 5a: at one client, strict privacy >= non-private.
+        assert med(name, 0.1, 1) >= med(name, float("inf"), 1) - 0.02, name
+        # Expectation 5b: under strict privacy, using every client is no
+        # worse than a single client (noise scale 1/|S|).
+        assert med(name, 0.1, full) <= med(name, 0.1, 1) + 0.02, name
+    # ε = 1 with a single client degrades towards random HP choice:
+    # visibly worse than non-private selection on CIFAR10-like.
+    assert med("cifar10", 1.0, 1) >= med("cifar10", float("inf"), 1)

@@ -1,0 +1,32 @@
+"""Tables 1 and 2: dataset statistics (paper §3, Appendix C)."""
+
+from repro.experiments import (
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
+    format_table,
+    run_table1,
+    run_table2,
+)
+
+
+def test_table1(benchmark, bench_ctx):
+    records = benchmark.pedantic(lambda: run_table1(bench_ctx), rounds=1, iterations=1)
+    print()
+    print(format_table(records, TABLE1_COLUMNS, title="Table 1 (small preset)"))
+    names = [r.dataset for r in records]
+    assert names == ["cifar10", "femnist", "stackoverflow", "reddit"]
+    # Table-1 shape: reddit has the most clients and the smallest mean size.
+    reddit = records[-1]
+    assert reddit.train_clients == max(r.train_clients for r in records)
+    assert reddit.mean_examples == min(r.mean_examples for r in records)
+
+
+def test_table2(benchmark, bench_ctx):
+    records = benchmark.pedantic(lambda: run_table2(bench_ctx), rounds=1, iterations=1)
+    print()
+    print(format_table(records, TABLE2_COLUMNS, title="Table 2 (small preset)"))
+    by_name = {r.dataset: r for r in records}
+    # Table-2 shape: text datasets have min-size-1 clients (natural tails).
+    assert by_name["reddit"].min_examples == 1
+    assert by_name["cifar10"].task == "classification"
+    assert by_name["stackoverflow"].task == "next_token"

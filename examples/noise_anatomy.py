@@ -1,0 +1,68 @@
+"""Anatomy of federated evaluation noise (the paper's Figure 2, in code).
+
+Trains ONE configuration, then shows how each noise source corrupts its
+evaluation: client subsampling spreads the estimate, systems-heterogeneity
+bias shifts it optimistically, and differential privacy can drown it.
+
+Run:  python examples/noise_anatomy.py [--preset test]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import NoiseConfig, NoisyEvaluator, PrivacyConfig, paper_space
+from repro.core.evaluator import config_to_trainer
+from repro.datasets import get_scale, load_dataset
+from repro.experiments import BATCH_CHOICES
+
+
+def summarize(evaluator_factory, rates, n=300):
+    vals = [evaluator_factory(i).evaluate(rates).error for i in range(n)]
+    return float(np.mean(vals)), float(np.std(vals))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="test", choices=("test", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    dataset = load_dataset("cifar10", args.preset, seed=args.seed)
+    scale = get_scale(args.preset)
+    space = paper_space(batch_sizes=BATCH_CHOICES[args.preset])
+    config = space.sample(np.random.default_rng(args.seed))
+    config.update(server_lr=3e-2, client_lr=1e-1)  # a config that learns
+
+    trainer = config_to_trainer(config, dataset, seed=args.seed)
+    trainer.run(scale.max_rounds_per_config)
+    rates = trainer.eval_error_rates()
+    weights = dataset.eval_weights("uniform")
+    truth = float(np.average(rates, weights=weights))
+    print(f"model trained {scale.max_rounds_per_config} rounds; "
+          f"true (uniform) full validation error = {truth:.3f}")
+    print(f"per-client error spread: min={rates.min():.3f} max={rates.max():.3f}\n")
+
+    def show(label, noise, privacy_releases=16):
+        privacy = PrivacyConfig(epsilon=noise.epsilon, total_releases=privacy_releases)
+        mean, std = summarize(
+            lambda i: NoisyEvaluator(weights, noise, rng=np.random.default_rng(i), privacy=privacy),
+            rates,
+        )
+        print(f"{label:46s} mean={mean:7.3f}  std={std:6.3f}")
+
+    print(f"{'evaluation setting':46s} {'released error over 300 draws'}")
+    print("-" * 78)
+    show("full evaluation (no noise)", NoiseConfig(scheme="uniform"))
+    show("subsample 3 clients", NoiseConfig(subsample=3, scheme="uniform"))
+    show("subsample 1 client", NoiseConfig(subsample=1, scheme="uniform"))
+    show("subsample 3 + participation bias b=3", NoiseConfig(subsample=3, bias_b=3.0, scheme="uniform"))
+    show("subsample 3 + DP eps=10 (16 releases)", NoiseConfig(subsample=3, epsilon=10.0, scheme="uniform"))
+    show("subsample 1 + DP eps=1  (16 releases)", NoiseConfig(subsample=1, epsilon=1.0, scheme="uniform"))
+    print()
+    print("Bias shifts the mean optimistically; subsampling and DP inflate the")
+    print("spread — any of these can flip a comparison between two configs.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""One-shot proxy tuning (the paper's §4 baseline).
+
+When client-side evaluation is too noisy (heavy subsampling, strict DP),
+tune hyperparameters on *public server-side proxy data* instead and spend
+the client network's budget on a single training run.
+
+Here: FEMNIST-like is the proxy for CIFAR10-like (a matched image/image
+pair — the paper's Figure 11 shows such pairs transfer well) and the
+result is compared against RS under heavy evaluation noise on the client
+dataset itself.
+
+Run:  python examples/proxy_tuning.py [--preset test]
+"""
+
+import argparse
+
+from repro.core import (
+    FederatedTrialRunner,
+    NoiseConfig,
+    OneShotProxySearch,
+    RandomSearch,
+    paper_space,
+)
+from repro.datasets import get_scale, load_dataset
+from repro.experiments import BATCH_CHOICES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="test", choices=("test", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-configs", type=int, default=16)
+    args = parser.parse_args()
+
+    scale = get_scale(args.preset)
+    space = paper_space(batch_sizes=BATCH_CHOICES[args.preset])
+    client_ds = load_dataset("cifar10", args.preset, seed=args.seed)
+    proxy_ds = load_dataset("femnist", args.preset, seed=args.seed)
+
+    # Baseline: RS directly on the client network under severe noise.
+    noisy = NoiseConfig(subsample=1, epsilon=1.0, scheme="uniform")
+    runner = FederatedTrialRunner(client_ds, max_rounds=scale.max_rounds_per_config, seed=args.seed)
+    noisy_rs = RandomSearch(space, runner, noisy, n_configs=args.n_configs, seed=args.seed).run()
+    print("RS on client data under noise (1 client, eps=1):")
+    print(f"  true full validation error: {noisy_rs.final_full_error:.3f}")
+    print(f"  client rounds spent        : {noisy_rs.rounds_used}\n")
+
+    # One-shot proxy RS: tune on FEMNIST-like, train once on CIFAR10-like.
+    proxy_runner = FederatedTrialRunner(
+        proxy_ds, max_rounds=scale.max_rounds_per_config, seed=args.seed + 1
+    )
+    target_runner = FederatedTrialRunner(
+        client_ds, max_rounds=scale.max_rounds_per_config, seed=args.seed + 2
+    )
+    proxy = OneShotProxySearch(
+        space, proxy_runner, target_runner, n_configs=args.n_configs, seed=args.seed
+    )
+    result = proxy.run()
+    print("One-shot proxy RS (tuned on FEMNIST-like, trained on CIFAR10-like):")
+    print(f"  proxy-side best error      : {proxy.proxy_result.final_full_error:.3f}")
+    print(f"  true full validation error : {result.final_full_error:.3f}")
+    print(f"  client rounds spent        : {result.rounds_used} "
+          f"(vs {noisy_rs.rounds_used} for noisy RS)\n")
+
+    print("Proxy tuning never touches noisy client evaluations, so its quality")
+    print("depends only on proxy/client task similarity — and it spends 16x")
+    print("fewer client-network rounds.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: tune federated hyperparameters under noisy evaluation.
+
+Builds a CIFAR10-like federated dataset, then runs random search twice —
+once with ideal full evaluation, once under realistic FL noise (1-client
+subsampling + ε=100 differential privacy) — and compares what each run
+selects.
+
+Run:  python examples/quickstart.py [--preset test] [--seed 0]
+"""
+
+import argparse
+
+from repro.core import FederatedTrialRunner, NoiseConfig, RandomSearch, paper_space
+from repro.datasets import get_scale, load_dataset
+from repro.experiments import BATCH_CHOICES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="test", choices=("test", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--n-configs", type=int, default=16)
+    args = parser.parse_args()
+
+    dataset = load_dataset("cifar10", args.preset, seed=args.seed)
+    scale = get_scale(args.preset)
+    space = paper_space(batch_sizes=BATCH_CHOICES[args.preset])
+    print(f"dataset: {dataset.name} ({dataset.num_train_clients} train / "
+          f"{dataset.num_eval_clients} eval clients)")
+    print(f"budget: {args.n_configs} configs x {scale.max_rounds_per_config} rounds\n")
+
+    settings = {
+        "noiseless (full evaluation)": NoiseConfig(),
+        "noisy (1 client + eps=100 DP)": NoiseConfig(subsample=1, epsilon=100.0, scheme="uniform"),
+    }
+    for label, noise in settings.items():
+        runner = FederatedTrialRunner(
+            dataset, max_rounds=scale.max_rounds_per_config, seed=args.seed
+        )
+        tuner = RandomSearch(
+            space, runner, noise, n_configs=args.n_configs, seed=args.seed
+        )
+        result = tuner.run()
+        cfg = result.best_config
+        print(f"{label}")
+        print(f"  selected: server_lr={cfg['server_lr']:.2e} client_lr={cfg['client_lr']:.2e} "
+              f"batch={cfg['batch_size']}")
+        print(f"  noisy score the tuner saw : {result.best_noisy_error:.3f}")
+        print(f"  true full validation error: {result.final_full_error:.3f}")
+        print(f"  rounds used               : {result.rounds_used}\n")
+
+    print("Note how the noisy run can select a configuration whose true error is")
+    print("far from what its (noisy) evaluation suggested — the paper's core point.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim for legacy editable installs (environment lacks `wheel`)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+    entry_points={
+        "console_scripts": ["repro-experiments=repro.experiments.cli:main"],
+    },
+)

@@ -1,0 +1,94 @@
+"""The paper's subject matter: federated hyperparameter tuning under noise.
+
+Contents:
+
+- :mod:`repro.core.search_space` — the Appendix-B HP space.
+- :mod:`repro.core.noise` / :mod:`repro.core.privacy` — the evaluation-noise
+  stack (client subsampling, systems-heterogeneity bias, Laplace DP).
+- Tuning methods: :class:`RandomSearch`, :class:`GridSearch`, :class:`TPE`,
+  :class:`SuccessiveHalving`, :class:`Hyperband`, :class:`BOHB`, and the
+  noise-immune :class:`OneShotProxySearch` baseline (§4).
+- :mod:`repro.core.evaluator` — trial runners bridging tuners to the FL
+  simulator (or to a precomputed configuration bank).
+"""
+
+from repro.core.search_space import (
+    Choice,
+    Constant,
+    Hyperparameter,
+    LogUniform,
+    SearchSpace,
+    Uniform,
+    nested_server_lr_space,
+    paper_space,
+)
+from repro.core.privacy import (
+    PrivacyConfig,
+    laplace_noise,
+    oneshot_laplace_topk,
+    oneshot_topk_scale,
+    value_release_scale,
+)
+from repro.core.noise import NoiseConfig, NoisyEvaluation, NoisyEvaluator
+from repro.core.evaluator import FederatedTrialRunner, Trial, TrialRunner, config_to_trainer
+from repro.core.centralized import CentralizedTrialRunner
+from repro.core.results import CurvePoint, Observation, TuningResult
+from repro.core.tuner import BaseTuner, BudgetLedger
+from repro.core.random_search import RandomSearch
+from repro.core.grid_search import GridSearch
+from repro.core.tpe import TPE, TPESampler
+from repro.core.hyperband import Hyperband, SuccessiveHalving, bracket_specs, sha_rungs
+from repro.core.bohb import BOHB
+from repro.core.proxy import OneShotProxySearch
+from repro.core.robust import ResampledRandomSearch, TwoStageRandomSearch
+from repro.core.synthetic import SyntheticRunner, default_quality
+from repro.core.gp import GaussianProcess, RBFKernel, fit_gp_with_model_selection
+from repro.core.gp_bo import GPBO, expected_improvement
+
+__all__ = [
+    "ResampledRandomSearch",
+    "TwoStageRandomSearch",
+    "SyntheticRunner",
+    "default_quality",
+    "GaussianProcess",
+    "RBFKernel",
+    "fit_gp_with_model_selection",
+    "GPBO",
+    "expected_improvement",
+    "Choice",
+    "Constant",
+    "Hyperparameter",
+    "LogUniform",
+    "SearchSpace",
+    "Uniform",
+    "nested_server_lr_space",
+    "paper_space",
+    "PrivacyConfig",
+    "laplace_noise",
+    "oneshot_laplace_topk",
+    "oneshot_topk_scale",
+    "value_release_scale",
+    "NoiseConfig",
+    "NoisyEvaluation",
+    "NoisyEvaluator",
+    "FederatedTrialRunner",
+    "CentralizedTrialRunner",
+    "Trial",
+    "TrialRunner",
+    "config_to_trainer",
+    "CurvePoint",
+    "Observation",
+    "TuningResult",
+    "BaseTuner",
+    "BudgetLedger",
+    "RandomSearch",
+    "GridSearch",
+    "TPE",
+    "TPESampler",
+    "Hyperband",
+    "SuccessiveHalving",
+    "bracket_specs",
+    "sha_rungs",
+    "BOHB",
+    "OneShotProxySearch",
+]

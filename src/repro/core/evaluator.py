@@ -1,0 +1,170 @@
+"""Trial runners: the bridge between tuning methods and model training.
+
+A *trial* is one hyperparameter configuration being trained. Tuners talk to
+trials exclusively through :class:`TrialRunner`, which hides whether models
+are trained live (:class:`FederatedTrialRunner`) or replayed from a
+precomputed configuration bank (:class:`repro.experiments.bank.BankTrialRunner`
+— the paper's own bootstrap methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.fl.server import FedAdam
+from repro.fl.trainer import FederatedTrainer, LocalTrainingConfig
+from repro.utils.rng import SeedLike, as_rng
+
+
+def config_to_trainer(
+    config: Dict,
+    dataset: FederatedDataset,
+    clients_per_round: int = 10,
+    scheme: str = "weighted",
+    seed: SeedLike = 0,
+) -> FederatedTrainer:
+    """Instantiate a :class:`FederatedTrainer` from a paper-space config."""
+    server_opt = FedAdam(
+        lr=config["server_lr"],
+        beta1=config["server_beta1"],
+        beta2=config["server_beta2"],
+        lr_decay=config["server_lr_decay"],
+    )
+    local = LocalTrainingConfig(
+        lr=config["client_lr"],
+        momentum=config["client_momentum"],
+        weight_decay=config["client_weight_decay"],
+        batch_size=config["batch_size"],
+        epochs=config["epochs"],
+    )
+    return FederatedTrainer(
+        dataset,
+        server_opt,
+        local,
+        clients_per_round=clients_per_round,
+        scheme=scheme,
+        seed=seed,
+    )
+
+
+@dataclass
+class Trial:
+    """Handle to one configuration under training."""
+
+    trial_id: int
+    config: Dict
+    rounds: int = 0
+    state: Optional[object] = None  # runner-private payload
+
+
+class TrialRunner:
+    """Abstract trial lifecycle: create → advance → read error rates.
+
+    ``max_rounds`` caps per-trial training (the paper's 405-round cap);
+    ``rounds_used`` tracks total training rounds consumed across all trials
+    — the budget axis of every online figure.
+    """
+
+    def __init__(self, max_rounds: int):
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = max_rounds
+        self.rounds_used = 0
+        self._next_id = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def create(self, config: Dict) -> Trial:
+        trial = Trial(trial_id=self._next_id, config=dict(config))
+        self._next_id += 1
+        self._init_trial(trial)
+        return trial
+
+    def advance(self, trial: Trial, rounds: int) -> int:
+        """Train ``trial`` for up to ``rounds`` more rounds (capped at
+        ``max_rounds`` total). Returns rounds actually consumed."""
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        allowed = min(rounds, self.max_rounds - trial.rounds)
+        if allowed > 0:
+            self._advance_trial(trial, allowed)
+            trial.rounds += allowed
+            self.rounds_used += allowed
+        return allowed
+
+    # -- measurement ----------------------------------------------------------
+    def error_rates(self, trial: Trial) -> np.ndarray:
+        """Per-validation-client error rates at the trial's current state."""
+        raise NotImplementedError
+
+    def full_error(self, trial: Trial, scheme: str = "weighted") -> float:
+        """Full-pool validation error (Eq. 2, S = [N_val]) — reporting only;
+        tuners never see this value."""
+        raise NotImplementedError
+
+    def eval_weights(self, scheme: str) -> np.ndarray:
+        """Full-pool aggregation weights for the noise stack."""
+        raise NotImplementedError
+
+    # -- runner internals ------------------------------------------------------
+    def _init_trial(self, trial: Trial) -> None:
+        raise NotImplementedError
+
+    def _advance_trial(self, trial: Trial, rounds: int) -> None:
+        raise NotImplementedError
+
+
+class FederatedTrialRunner(TrialRunner):
+    """Live runner: every trial is a real :class:`FederatedTrainer`.
+
+    Per-trial seeds derive deterministically from the runner seed and the
+    trial id, so a tuning run is reproducible end-to-end.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        max_rounds: int,
+        clients_per_round: int = 10,
+        scheme: str = "weighted",
+        seed: SeedLike = 0,
+    ):
+        super().__init__(max_rounds)
+        self.dataset = dataset
+        self.clients_per_round = clients_per_round
+        self.scheme = scheme
+        self._seed_rng = as_rng(seed)
+        self._rates_cache: Dict[int, tuple] = {}
+
+    def _init_trial(self, trial: Trial) -> None:
+        trial_seed = int(self._seed_rng.integers(0, 2**63 - 1))
+        trial.state = config_to_trainer(
+            trial.config,
+            self.dataset,
+            clients_per_round=self.clients_per_round,
+            scheme=self.scheme,
+            seed=trial_seed,
+        )
+
+    def _advance_trial(self, trial: Trial, rounds: int) -> None:
+        trial.state.run(rounds)
+
+    def error_rates(self, trial: Trial) -> np.ndarray:
+        cached = self._rates_cache.get(trial.trial_id)
+        if cached is not None and cached[0] == trial.rounds:
+            return cached[1]
+        rates = trial.state.eval_error_rates()
+        self._rates_cache[trial.trial_id] = (trial.rounds, rates)
+        return rates
+
+    def full_error(self, trial: Trial, scheme: str = "weighted") -> float:
+        from repro.fl.evaluation import federated_error
+
+        rates = self.error_rates(trial)
+        return federated_error(rates, self.dataset.eval_weights(scheme))
+
+    def eval_weights(self, scheme: str) -> np.ndarray:
+        return self.dataset.eval_weights(scheme)

@@ -1,0 +1,149 @@
+"""The federated evaluation-noise stack (Figure 2 of the paper).
+
+A hyperparameter evaluation in cross-device FL is corrupted, in order, by:
+
+1. **Client subsampling** — only ``|S| ≪ N_val`` clients report.
+2. **Systems heterogeneity** — participation is biased towards clients on
+   which the current model performs well (weight ``(a_k + δ)^b``).
+3. **Differential privacy** — Laplace noise is added to the released
+   accuracy (scale ``M/(ε|S|)``, see :mod:`repro.core.privacy`).
+
+:class:`NoisyEvaluator` composes all three on top of a vector of per-client
+error rates, which is what both the live FL simulator and the precomputed
+configuration bank produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.privacy import PrivacyConfig
+from repro.fl.sampling import BiasedSampler, UniformSampler
+from repro.utils.rng import SeedLike, as_rng
+from repro.utils.stats import weighted_mean
+
+
+@dataclass(frozen=True)
+class NoiseConfig:
+    """Declarative description of the evaluation-noise setting.
+
+    ``subsample`` — ``None`` for full evaluation, an ``int`` for a raw
+    client count, or a ``float`` in (0, 1] for a fraction of the pool.
+    ``bias_b`` — systems-heterogeneity exponent (0 = unbiased).
+    ``epsilon`` — DP budget (``None``/``inf`` = non-private).
+    ``scheme`` — aggregation weighting; forced to "uniform" under DP
+    (paper footnote 1: sensitivity must not depend on local dataset sizes).
+    """
+
+    subsample: Union[None, int, float] = None
+    bias_b: float = 0.0
+    epsilon: Optional[float] = None
+    scheme: str = "weighted"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.subsample, float) and not 0.0 < self.subsample <= 1.0:
+            raise ValueError(f"fractional subsample must be in (0, 1], got {self.subsample}")
+        if isinstance(self.subsample, int) and self.subsample < 1:
+            raise ValueError(f"integer subsample must be >= 1, got {self.subsample}")
+        if self.bias_b < 0:
+            raise ValueError(f"bias_b must be >= 0, got {self.bias_b}")
+        if self.scheme not in ("weighted", "uniform"):
+            raise ValueError(f"unknown scheme {self.scheme!r}")
+        if self.private and self.scheme == "weighted":
+            # DP requires uniform weighting; silently correcting would hide
+            # a modelling mistake, so make the caller say what they mean.
+            raise ValueError("DP evaluation requires scheme='uniform' (paper footnote 1)")
+
+    @property
+    def private(self) -> bool:
+        return self.epsilon is not None and self.epsilon != np.inf
+
+    @property
+    def noiseless(self) -> bool:
+        """True when this config is exactly the paper's noiseless setting."""
+        return self.subsample is None and self.bias_b == 0.0 and not self.private
+
+    def cohort_size(self, n_clients: int) -> int:
+        """Resolve ``subsample`` to a raw client count for a pool of size n."""
+        if self.subsample is None:
+            return n_clients
+        if isinstance(self.subsample, float):
+            return max(1, min(n_clients, int(round(self.subsample * n_clients))))
+        return max(1, min(n_clients, self.subsample))
+
+
+@dataclass
+class NoisyEvaluation:
+    """One noisy evaluation outcome: the released error plus provenance."""
+
+    error: float
+    cohort: np.ndarray
+    exact_subsampled_error: float
+
+
+class NoisyEvaluator:
+    """Applies the noise stack to per-client error-rate vectors.
+
+    Parameters
+    ----------
+    weights : full-pool per-client aggregation weights (Eq. 2 ``p_val,k``).
+    noise : the :class:`NoiseConfig` to apply.
+    privacy : a :class:`PrivacyConfig` with the tuner's release count; if
+        omitted, one is built from ``noise.epsilon`` with
+        ``total_releases = 1``.
+    rng : random source for cohort sampling and DP noise.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        noise: NoiseConfig,
+        rng: SeedLike = None,
+        privacy: Optional[PrivacyConfig] = None,
+    ):
+        self.weights = np.asarray(weights, dtype=np.float64)
+        if self.weights.ndim != 1 or self.weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D array")
+        self.noise = noise
+        self.rng = as_rng(rng)
+        if privacy is None:
+            privacy = PrivacyConfig(epsilon=noise.epsilon, total_releases=1)
+        elif noise.epsilon != privacy.epsilon:
+            raise ValueError(
+                f"epsilon mismatch: noise has {noise.epsilon}, privacy has {privacy.epsilon}"
+            )
+        self.privacy = privacy
+        self._uniform = UniformSampler(self.weights.size)
+        self._biased = BiasedSampler(noise.bias_b) if noise.bias_b > 0 else None
+
+    @property
+    def n_clients(self) -> int:
+        return self.weights.size
+
+    def sample_cohort(self, error_rates: np.ndarray) -> np.ndarray:
+        """Draw the evaluation cohort (uniform, or accuracy-biased)."""
+        size = self.noise.cohort_size(self.n_clients)
+        if self._biased is not None:
+            accuracies = 1.0 - np.asarray(error_rates, dtype=np.float64)
+            return self._biased.sample(accuracies, size, self.rng)
+        return self._uniform.sample(size, self.rng)
+
+    def evaluate(self, error_rates: np.ndarray) -> NoisyEvaluation:
+        """Release one noisy evaluation of a config's per-client errors."""
+        error_rates = np.asarray(error_rates, dtype=np.float64)
+        if error_rates.shape != self.weights.shape:
+            raise ValueError(
+                f"error_rates shape {error_rates.shape} != weights {self.weights.shape}"
+            )
+        cohort = self.sample_cohort(error_rates)
+        exact = weighted_mean(error_rates[cohort], self.weights[cohort])
+        accuracy = 1.0 - exact
+        noisy_acc = self.privacy.noisy_accuracy(accuracy, cohort.size, self.rng)
+        return NoisyEvaluation(
+            error=1.0 - noisy_acc,
+            cohort=cohort,
+            exact_subsampled_error=exact,
+        )

@@ -1,0 +1,117 @@
+"""Differential-privacy mechanisms for hyperparameter evaluation.
+
+The paper (§2.2, §3.3) makes the tuning procedure ε-differentially private
+w.r.t. client participation in evaluation:
+
+- Each evaluated accuracy is the mean over a cohort of ``|S|`` clients, so
+  one client changes it by at most ``1/|S|`` (sensitivity, under *uniform*
+  weighting — which is why the paper forces uniform evaluation under DP).
+- Releasing ``M`` such values under total budget ε gives each release
+  budget ε/M (basic composition), hence Laplace noise of scale
+  ``M / (ε · |S|)``.
+- Selection-only events can instead use the one-shot Laplace top-k
+  mechanism (Qiao et al., 2021): perturb each score with
+  ``Lap(2 T k_t / (ε |S|))`` and release only the top-``k_t`` identities at
+  each of ``T`` evaluation rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+def laplace_noise(scale: float, rng: SeedLike = None, size=None) -> np.ndarray:
+    """Draw Laplace(0, scale) noise; scale 0 returns exact zeros."""
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    rng = as_rng(rng)
+    if scale == 0.0:
+        return np.zeros(size) if size is not None else 0.0
+    return rng.laplace(0.0, scale, size=size)
+
+
+def value_release_scale(epsilon: float, cohort_size: int, total_releases: int) -> float:
+    """Noise scale for one of ``M`` accuracy releases: ``M / (ε |S|)``."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if cohort_size < 1:
+        raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+    if total_releases < 1:
+        raise ValueError(f"total_releases must be >= 1, got {total_releases}")
+    return total_releases / (epsilon * cohort_size)
+
+
+def oneshot_topk_scale(epsilon: float, cohort_size: int, total_rounds: int, k: int) -> float:
+    """Noise scale of the one-shot top-k mechanism: ``2 T k / (ε |S|)``."""
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if cohort_size < 1:
+        raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+    if total_rounds < 1:
+        raise ValueError(f"total_rounds must be >= 1, got {total_rounds}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return 2.0 * total_rounds * k / (epsilon * cohort_size)
+
+
+def oneshot_laplace_topk(
+    scores: np.ndarray,
+    k: int,
+    scale: float,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """One-shot Laplace top-k (Qiao et al., 2021): noise every score once,
+    release the indices of the ``k`` largest noisy scores.
+
+    ``scores`` are *higher-is-better* (accuracies). Returns indices sorted
+    by noisy score, best first.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("scores must be 1-D")
+    if not 1 <= k <= scores.size:
+        raise ValueError(f"k must be in [1, {scores.size}], got {k}")
+    rng = as_rng(rng)
+    noisy = scores + laplace_noise(scale, rng, size=scores.shape)
+    order = np.argsort(-noisy, kind="stable")
+    return order[:k]
+
+
+@dataclass(frozen=True)
+class PrivacyConfig:
+    """Evaluation-privacy settings for a tuning run.
+
+    ``epsilon = None`` (or ``inf``) disables privacy. ``total_releases`` is
+    the number M of noisy accuracy releases the tuning method will perform
+    over its whole run — tuners compute it from their schedule *before*
+    running, as required for basic composition.
+    """
+
+    epsilon: Optional[float] = None
+    total_releases: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epsilon is not None and self.epsilon != np.inf and self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive or None, got {self.epsilon}")
+        if self.total_releases < 1:
+            raise ValueError(f"total_releases must be >= 1, got {self.total_releases}")
+
+    @property
+    def enabled(self) -> bool:
+        return self.epsilon is not None and self.epsilon != np.inf
+
+    def with_releases(self, total_releases: int) -> "PrivacyConfig":
+        """Copy with the release count filled in by the tuner."""
+        return PrivacyConfig(epsilon=self.epsilon, total_releases=total_releases)
+
+    def noisy_accuracy(self, accuracy: float, cohort_size: int, rng: SeedLike = None) -> float:
+        """Release one accuracy under this budget (identity if disabled)."""
+        if not self.enabled:
+            return float(accuracy)
+        scale = value_release_scale(self.epsilon, cohort_size, self.total_releases)
+        return float(accuracy + laplace_noise(scale, rng))

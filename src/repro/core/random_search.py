@@ -1,0 +1,61 @@
+"""Random search (Algorithm 2 of the paper).
+
+The paper's simple baseline: sample K configs uniformly from the space,
+train each for ``budget / K`` rounds (capped at the per-config max), and
+pick the one with the best noisy evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.evaluator import TrialRunner
+from repro.core.noise import NoiseConfig
+from repro.core.search_space import SearchSpace
+from repro.core.tuner import BaseTuner
+from repro.utils.rng import SeedLike
+
+
+class RandomSearch(BaseTuner):
+    """Paper configuration: ``n_configs = 16``, 405 rounds per config.
+
+    ``config_source`` overrides proposal sampling — the configuration-bank
+    bootstrap uses it to resample configs from a pretrained pool, and TPE
+    subclasses the same loop with model-based proposals.
+    """
+
+    method_name = "rs"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        runner: TrialRunner,
+        noise: NoiseConfig = NoiseConfig(),
+        n_configs: int = 16,
+        total_budget: Optional[int] = None,
+        seed: SeedLike = 0,
+        config_source: Optional[Callable[[], Dict]] = None,
+    ):
+        if n_configs < 1:
+            raise ValueError(f"n_configs must be >= 1, got {n_configs}")
+        self.n_configs = n_configs
+        super().__init__(space, runner, noise, total_budget, seed)
+        self._config_source = config_source
+
+    def planned_releases(self) -> int:
+        return self.n_configs
+
+    def propose(self) -> Dict:
+        """Next config to try (uniform random unless overridden)."""
+        if self._config_source is not None:
+            return self._config_source()
+        return self.space.sample(self.rng)
+
+    def _run(self) -> None:
+        rounds_per_config = max(1, self.total_budget // self.n_configs)
+        for _ in range(self.n_configs):
+            if self.ledger.exhausted:
+                break
+            trial = self.runner.create(self.propose())
+            self.train_trial(trial, rounds_per_config)
+            self.observe(trial)

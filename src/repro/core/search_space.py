@@ -1,0 +1,258 @@
+"""Hyperparameter search spaces.
+
+Implements the paper's Appendix-B space — three tuned FedAdam server HPs
+(learning rate, both moment-decay rates) and two tuned client SGD HPs
+(learning rate, batch size), with client momentum also sampled and the
+remaining values fixed constants:
+
+==================  ==========================
+server ``log10 lr``     Unif[-6, -1]
+server ``beta1``        Unif[0, 0.9]
+server ``beta2``        Unif[0, 0.999]
+server ``lr_decay``     0.9999 (fixed)
+client ``log10 lr``     Unif[-6, 0]
+client ``momentum``     Unif[0, 0.9]
+client ``weight_decay`` 5e-5 (fixed)
+client ``batch_size``   Choice[32, 64, 128]
+client ``epochs``       1 (fixed)
+==================  ==========================
+
+Every hyperparameter maps to/from a unit-interval coordinate so that
+model-based tuners (TPE) can operate in a common [0, 1]^d space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+class Hyperparameter:
+    """Base class: a named, sampleable dimension with a unit-cube embedding."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("hyperparameter needs a non-empty name")
+        self.name = name
+
+    def sample(self, rng: np.random.Generator):
+        raise NotImplementedError
+
+    def to_unit(self, value) -> float:
+        """Map a value into [0, 1] (used by TPE's kernel densities)."""
+        raise NotImplementedError
+
+    def from_unit(self, u: float):
+        """Inverse of :meth:`to_unit` (clipping into the domain)."""
+        raise NotImplementedError
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+
+class Uniform(Hyperparameter):
+    """Continuous uniform on ``[low, high]``."""
+
+    def __init__(self, name: str, low: float, high: float):
+        super().__init__(name)
+        if not low < high:
+            raise ValueError(f"{name}: need low < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def to_unit(self, value: float) -> float:
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(float(u), 0.0), 1.0)
+        return self.low + u * (self.high - self.low)
+
+
+class LogUniform(Hyperparameter):
+    """Log10-uniform on ``[low, high]`` (both positive).
+
+    Sampling is uniform in log10 space, matching the paper's
+    ``log10 lr ~ Unif[-6, -1]`` convention.
+    """
+
+    def __init__(self, name: str, low: float, high: float):
+        super().__init__(name)
+        if not 0 < low < high:
+            raise ValueError(f"{name}: need 0 < low < high, got [{low}, {high}]")
+        self.low = float(low)
+        self.high = float(high)
+        self._log_low = np.log10(low)
+        self._log_high = np.log10(high)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(10.0 ** rng.uniform(self._log_low, self._log_high))
+
+    def to_unit(self, value: float) -> float:
+        return (np.log10(float(value)) - self._log_low) / (self._log_high - self._log_low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(max(float(u), 0.0), 1.0)
+        return float(10.0 ** (self._log_low + u * (self._log_high - self._log_low)))
+
+
+class Choice(Hyperparameter):
+    """Categorical over a finite option list."""
+
+    def __init__(self, name: str, options: Sequence):
+        super().__init__(name)
+        if len(options) < 1:
+            raise ValueError(f"{name}: need at least one option")
+        self.options = list(options)
+
+    def sample(self, rng: np.random.Generator):
+        return self.options[int(rng.integers(0, len(self.options)))]
+
+    def to_unit(self, value) -> float:
+        # Embed as the bin midpoint of the option's index.
+        idx = self.options.index(value)
+        return (idx + 0.5) / len(self.options)
+
+    def from_unit(self, u: float):
+        u = min(max(float(u), 0.0), 1.0 - 1e-12)
+        return self.options[int(u * len(self.options))]
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+
+class Constant(Hyperparameter):
+    """A fixed, non-searched value carried along in every config."""
+
+    def __init__(self, name: str, value):
+        super().__init__(name)
+        self.value = value
+
+    def sample(self, rng: np.random.Generator):
+        return self.value
+
+    def to_unit(self, value) -> float:
+        return 0.5
+
+    def from_unit(self, u: float):
+        return self.value
+
+    @property
+    def is_numeric(self) -> bool:
+        return False
+
+
+class SearchSpace:
+    """An ordered collection of hyperparameters.
+
+    Configs are plain dicts ``{name: value}``. The space provides sampling,
+    unit-cube embedding (for TPE), and validation.
+    """
+
+    def __init__(self, params: Sequence[Hyperparameter]):
+        if not params:
+            raise ValueError("search space needs at least one hyperparameter")
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate hyperparameter names in {names}")
+        self.params: List[Hyperparameter] = list(params)
+        self._by_name: Dict[str, Hyperparameter] = {p.name: p for p in params}
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+    @property
+    def searched(self) -> List[Hyperparameter]:
+        """Dimensions that actually vary (non-Constant)."""
+        return [p for p in self.params if not isinstance(p, Constant)]
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __getitem__(self, name: str) -> Hyperparameter:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def sample(self, rng: SeedLike = None) -> Dict:
+        """Draw a config uniformly at random (the RS proposal)."""
+        rng = as_rng(rng)
+        return {p.name: p.sample(rng) for p in self.params}
+
+    def validate(self, config: Dict) -> None:
+        """Check that ``config`` has exactly this space's keys."""
+        missing = set(self.names) - set(config)
+        extra = set(config) - set(self.names)
+        if missing or extra:
+            raise ValueError(f"config mismatch: missing={sorted(missing)} extra={sorted(extra)}")
+
+    def to_unit_vector(self, config: Dict) -> np.ndarray:
+        """Embed a config into [0, 1]^d over the *searched* dimensions."""
+        self.validate(config)
+        return np.array([p.to_unit(config[p.name]) for p in self.searched])
+
+    def from_unit_vector(self, u: np.ndarray) -> Dict:
+        """Decode a searched-dimension unit vector into a full config."""
+        searched = self.searched
+        if len(u) != len(searched):
+            raise ValueError(f"expected {len(searched)} coords, got {len(u)}")
+        config = {p.name: p.value for p in self.params if isinstance(p, Constant)}
+        for coord, p in zip(u, searched):
+            config[p.name] = p.from_unit(coord)
+        return config
+
+
+def paper_space(
+    server_lr_range: Tuple[float, float] = (1e-6, 1e-1),
+    client_lr_range: Tuple[float, float] = (1e-6, 1.0),
+    batch_sizes: Sequence[int] = (32, 64, 128),
+    server_lr_decay: float = 0.9999,
+    weight_decay: float = 5e-5,
+    epochs: int = 1,
+) -> SearchSpace:
+    """The paper's Appendix-B search space.
+
+    ``server_lr_range`` is overridable because Figure 13 sweeps nested
+    server-lr intervals; ``batch_sizes`` is overridable because scaled-down
+    presets use proportionally smaller client datasets.
+    """
+    return SearchSpace(
+        [
+            LogUniform("server_lr", *server_lr_range),
+            Uniform("server_beta1", 0.0, 0.9),
+            Uniform("server_beta2", 0.0, 0.999),
+            Constant("server_lr_decay", server_lr_decay),
+            LogUniform("client_lr", *client_lr_range),
+            Uniform("client_momentum", 0.0, 0.9),
+            Constant("client_weight_decay", weight_decay),
+            Choice("batch_size", list(batch_sizes)),
+            Constant("epochs", epochs),
+        ]
+    )
+
+
+def nested_server_lr_space(
+    log10_span: float,
+    center: float = 1e-3,
+    batch_sizes: Sequence[int] = (32, 64, 128),
+) -> SearchSpace:
+    """Figure-13 spaces: server-lr interval centred on 1e-3 with total
+    log10 width ``log10_span`` (1 = [10^-3.5, 10^-2.5] ... 4 = [10^-5, 10^-1],
+    clipped to the paper's description of span 4 as [1e-6, 1e-2])."""
+    if log10_span <= 0:
+        raise ValueError(f"log10_span must be positive, got {log10_span}")
+    half = log10_span / 2.0
+    log_center = np.log10(center)
+    low = 10.0 ** (log_center - half)
+    high = 10.0 ** (log_center + half)
+    return paper_space(server_lr_range=(low, high), batch_sizes=batch_sizes)

@@ -1,0 +1,162 @@
+"""Base machinery shared by all hyperparameter-tuning methods.
+
+The contract (paper Algorithm 2 generalised): a tuner proposes configs,
+trains them through a :class:`TrialRunner` under a total round budget, sees
+only *noisy* evaluations from a :class:`NoisyEvaluator`, and maintains an
+incumbent. Full-pool validation error is recorded per incumbent change for
+reporting — mirroring how the paper scores methods — but is never visible
+to the tuning logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.evaluator import Trial, TrialRunner
+from repro.core.noise import NoiseConfig, NoisyEvaluator
+from repro.core.privacy import PrivacyConfig
+from repro.core.results import CurvePoint, Observation, TuningResult
+from repro.core.search_space import SearchSpace
+from repro.utils.rng import SeedLike, as_rng
+
+
+class BudgetLedger:
+    """Tracks the total training-round budget across a tuning run."""
+
+    def __init__(self, total_rounds: int):
+        if total_rounds < 1:
+            raise ValueError(f"total_rounds must be >= 1, got {total_rounds}")
+        self.total = total_rounds
+        self.used = 0
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.used
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    def grant(self, requested: int) -> int:
+        """Grant up to ``requested`` rounds; returns the amount granted."""
+        if requested < 0:
+            raise ValueError(f"requested must be >= 0, got {requested}")
+        granted = min(requested, self.remaining)
+        self.used += granted
+        return granted
+
+
+class BaseTuner:
+    """Shared run-state: budget, noisy evaluator, incumbent, curve.
+
+    Subclasses implement :meth:`_run` and call :meth:`observe` after each
+    evaluation; incumbent tracking and curve recording are handled here.
+    """
+
+    method_name = "base"
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        runner: TrialRunner,
+        noise: NoiseConfig = NoiseConfig(),
+        total_budget: Optional[int] = None,
+        seed: SeedLike = 0,
+    ):
+        self.space = space
+        self.runner = runner
+        self.noise = noise
+        self.total_budget = total_budget if total_budget is not None else 16 * runner.max_rounds
+        self.ledger = BudgetLedger(self.total_budget)
+        self.rng = as_rng(seed)
+        privacy = PrivacyConfig(
+            epsilon=noise.epsilon, total_releases=max(1, self.planned_releases())
+        )
+        self.evaluator = NoisyEvaluator(
+            runner.eval_weights(noise.scheme), noise, rng=self.rng, privacy=privacy
+        )
+        self.observations: List[Observation] = []
+        self.curve: List[CurvePoint] = []
+        self._incumbent: Optional[Trial] = None
+        self._incumbent_noisy = np.inf
+
+    # -- subclass interface ----------------------------------------------------
+    def planned_releases(self) -> int:
+        """Number of noisy accuracy releases this run will perform (M in the
+        paper's Lap(M/(ε|S|)) formula). Must be computed *before* running —
+        basic composition requires budgeting upfront."""
+        raise NotImplementedError
+
+    def _run(self) -> None:
+        raise NotImplementedError
+
+    # -- shared mechanics -------------------------------------------------------
+    def train_trial(self, trial: Trial, rounds: int) -> int:
+        """Advance a trial within the global budget; returns rounds used."""
+        granted = self.ledger.grant(rounds)
+        consumed = self.runner.advance(trial, granted)
+        if consumed < granted:
+            # Trial hit its per-config cap; return unused rounds to budget.
+            self.ledger.used -= granted - consumed
+        return consumed
+
+    def _evaluate_rates(self, rates: np.ndarray):
+        """Hook: turn per-client error rates into one noisy evaluation.
+
+        Robust tuner variants override this (e.g. averaging several
+        independent noisy evaluations — see :mod:`repro.core.robust`).
+        """
+        return self.evaluator.evaluate(rates)
+
+    def observe(self, trial: Trial) -> float:
+        """Noisily evaluate a trial, update the incumbent, record the curve.
+
+        Returns the noisy error the tuner should act on.
+        """
+        rates = self.runner.error_rates(trial)
+        evaluation = self._evaluate_rates(rates)
+        self.observations.append(
+            Observation(
+                trial_id=trial.trial_id,
+                config=dict(trial.config),
+                rounds=trial.rounds,
+                noisy_error=evaluation.error,
+                exact_error=evaluation.exact_subsampled_error,
+                budget_used=self.ledger.used,
+            )
+        )
+        if evaluation.error < self._incumbent_noisy:
+            self._incumbent = trial
+            self._incumbent_noisy = evaluation.error
+        # Record the curve even when the incumbent is unchanged: budget moved.
+        if self._incumbent is not None:
+            self.curve.append(
+                CurvePoint(
+                    budget_used=self.ledger.used,
+                    incumbent_trial_id=self._incumbent.trial_id,
+                    noisy_error=self._incumbent_noisy,
+                    full_error=self.runner.full_error(self._incumbent, scheme=self.noise.scheme),
+                )
+            )
+        return evaluation.error
+
+    def run(self) -> TuningResult:
+        """Execute the method and package the result."""
+        self._run()
+        best_trial = self._incumbent
+        return TuningResult(
+            method=self.method_name,
+            best_config=dict(best_trial.config) if best_trial else None,
+            best_trial_id=best_trial.trial_id if best_trial else None,
+            best_noisy_error=float(self._incumbent_noisy),
+            final_full_error=(
+                self.runner.full_error(best_trial, scheme=self.noise.scheme)
+                if best_trial
+                else float("nan")
+            ),
+            curve=self.curve,
+            observations=self.observations,
+            rounds_used=self.ledger.used,
+        )

@@ -1,0 +1,113 @@
+"""Experiment drivers regenerating every table and figure in the paper.
+
+The per-figure index lives in DESIGN.md §4. Typical use::
+
+    from repro.experiments import ExperimentContext, run_figure3
+
+    ctx = ExperimentContext(preset="small", seed=0, n_bank_configs=64)
+    records = run_figure3(ctx, n_trials=50)
+
+Figure drivers return flat :class:`repro.utils.Record` lists that the
+reporting helpers render as text tables; benchmarks assert the paper's
+qualitative shapes (Appendix E.6) on the same records.
+"""
+
+from repro.experiments.bank import (
+    BANK_ID_KEY,
+    BankTrialRunner,
+    ConfigBank,
+    bank_config_source,
+    checkpoint_schedule,
+)
+from repro.experiments.context import BATCH_CHOICES, ExperimentContext, subsample_grid
+from repro.experiments.reporting import format_series, format_table, summarize_trials
+from repro.experiments.fig_subsampling import (
+    bootstrap_rs_curves,
+    bootstrap_rs_final_errors,
+    run_figure3,
+    run_figure5,
+)
+from repro.experiments.fig_heterogeneity import (
+    lucky_client_gap,
+    run_figure4,
+    run_figure6,
+    run_figure7,
+)
+from repro.experiments.fig_privacy import PAPER_EPSILONS, run_figure9
+from repro.experiments.fig_methods import (
+    METHODS,
+    PAPER_NOISELESS,
+    PAPER_NOISY,
+    bars_at_budget,
+    curve_medians,
+    make_tuner,
+    run_figure1,
+    run_method_comparison,
+)
+from repro.experiments.fig_proxy import (
+    MATCHED_PAIRS,
+    MISMATCHED_PAIRS,
+    one_shot_proxy_pick,
+    run_figure11,
+    run_figure12,
+    run_transfer_scatter,
+    transfer_correlation,
+)
+from repro.experiments.fig_hpspace import run_figure13
+from repro.experiments.tail import config_tail_profile, run_tail_analysis
+from repro.experiments.tables import (
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
+    print_table1,
+    print_table2,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "BANK_ID_KEY",
+    "BankTrialRunner",
+    "ConfigBank",
+    "bank_config_source",
+    "checkpoint_schedule",
+    "BATCH_CHOICES",
+    "ExperimentContext",
+    "subsample_grid",
+    "format_series",
+    "format_table",
+    "summarize_trials",
+    "bootstrap_rs_curves",
+    "bootstrap_rs_final_errors",
+    "run_figure3",
+    "run_figure5",
+    "lucky_client_gap",
+    "run_figure4",
+    "run_figure6",
+    "run_figure7",
+    "PAPER_EPSILONS",
+    "run_figure9",
+    "METHODS",
+    "PAPER_NOISELESS",
+    "PAPER_NOISY",
+    "bars_at_budget",
+    "curve_medians",
+    "make_tuner",
+    "run_figure1",
+    "run_method_comparison",
+    "MATCHED_PAIRS",
+    "MISMATCHED_PAIRS",
+    "one_shot_proxy_pick",
+    "run_figure11",
+    "run_figure12",
+    "run_transfer_scatter",
+    "transfer_correlation",
+    "run_figure13",
+    "config_tail_profile",
+    "run_tail_analysis",
+    "TABLE1_COLUMNS",
+    "TABLE2_COLUMNS",
+    "print_table1",
+    "print_table2",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,134 @@
+"""Command-line driver: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments.cli --artifact fig3 --preset small --trials 60
+    python -m repro.experiments.cli --artifact table1
+    python -m repro.experiments.cli --list
+
+Records can optionally be written to JSON with ``--out``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ExperimentContext,
+    TABLE1_COLUMNS,
+    TABLE2_COLUMNS,
+    format_table,
+    run_figure1,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure9,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_method_comparison,
+    run_table1,
+    run_table2,
+    run_transfer_scatter,
+)
+from repro.utils.records import records_to_json
+
+# artifact -> (runner, display columns)
+_ARTIFACTS: Dict[str, tuple] = {
+    "table1": (lambda ctx, n: run_table1(ctx), TABLE1_COLUMNS),
+    "table2": (lambda ctx, n: run_table2(ctx), TABLE2_COLUMNS),
+    "fig1": (
+        lambda ctx, n: run_figure1(ctx, n_trials=max(1, n // 10)),
+        ("method", "setting", "full_error"),
+    ),
+    "fig3": (
+        lambda ctx, n: run_figure3(ctx, n_trials=n),
+        ("dataset", "subsample_count", "subsample_pct", "q25", "median", "q75", "best_hps"),
+    ),
+    "fig4": (
+        lambda ctx, n: run_figure4(ctx, n_trials=n),
+        ("dataset", "iid_fraction", "subsample_count", "q25", "median", "q75"),
+    ),
+    "fig5": (
+        lambda ctx, n: run_figure5(ctx, n_trials=n),
+        ("dataset", "subsample_count", "budget_rounds", "median"),
+    ),
+    "fig6": (
+        lambda ctx, n: run_figure6(ctx, n_trials=n),
+        ("dataset", "bias_b", "subsample_count", "q25", "median", "q75"),
+    ),
+    "fig7": (
+        lambda ctx, n: run_figure7(ctx),
+        ("dataset", "config_id", "full_error", "min_client_error"),
+    ),
+    "fig8": (
+        lambda ctx, n: run_method_comparison(ctx, n_trials=max(1, n // 10)),
+        ("dataset", "method", "setting", "trial", "final_full_error", "n_evaluations"),
+    ),
+    "fig9": (
+        lambda ctx, n: run_figure9(ctx, n_trials=n),
+        ("dataset", "epsilon", "subsample_count", "q25", "median", "q75"),
+    ),
+    "fig10": (
+        lambda ctx, n: run_transfer_scatter(ctx),
+        ("pair", "config_id", "error_x", "error_y"),
+    ),
+    "fig11": (
+        lambda ctx, n: run_figure11(ctx, n_trials=n),
+        ("client", "proxy", "q25", "median", "q75"),
+    ),
+    "fig12": (
+        lambda ctx, n: run_figure12(ctx, n_trials=n),
+        ("client", "source", "budget_rounds", "median"),
+    ),
+    "fig13": (
+        lambda ctx, n: run_figure13(ctx, n_trials=n),
+        ("dataset", "log10_span", "noiseless", "noisy_median"),
+    ),
+}
+_ARTIFACTS["fig14"] = _ARTIFACTS["fig10"]
+_ARTIFACTS["fig15"] = _ARTIFACTS["fig8"]
+_ARTIFACTS["fig16"] = _ARTIFACTS["fig8"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.cli", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--artifact", choices=sorted(_ARTIFACTS), help="table/figure id")
+    parser.add_argument("--list", action="store_true", help="list available artifacts")
+    parser.add_argument("--preset", default="test", choices=("test", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=int, default=20, help="bootstrap trials per sweep point")
+    parser.add_argument("--bank-configs", type=int, default=32, help="config pool size")
+    parser.add_argument("--out", default=None, help="write records to this JSON file")
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("available artifacts:", ", ".join(sorted(_ARTIFACTS)))
+        return 0
+    if not args.artifact:
+        print("error: --artifact (or --list) is required", file=sys.stderr)
+        return 2
+    runner, columns = _ARTIFACTS[args.artifact]
+    ctx = ExperimentContext(
+        preset=args.preset, seed=args.seed, n_bank_configs=args.bank_configs
+    )
+    records = runner(ctx, args.trials)
+    print(format_table(records, columns, title=f"{args.artifact} ({args.preset} preset)"))
+    if args.out:
+        records_to_json(records, args.out)
+        print(f"\nwrote {len(records)} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

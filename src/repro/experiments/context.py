@@ -1,0 +1,125 @@
+"""Shared experiment state: datasets, search space, and config banks.
+
+Every figure driver runs against an :class:`ExperimentContext`, which pins
+the preset scale and the root seed, lazily builds datasets and
+configuration banks, and — critically — uses *one shared config pool*
+across all four datasets so that cross-dataset experiments (Figures 10-12,
+14) compare identical configurations, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.search_space import SearchSpace, paper_space
+from repro.datasets.registry import DATASET_NAMES, DatasetScale, get_scale, load_dataset
+from repro.experiments.bank import ConfigBank
+from repro.utils.rng import RngFactory
+
+# Client batch-size choices scale with per-client dataset size so the
+# batch-size HP stays meaningful at every preset.
+BATCH_CHOICES = {"test": (4, 8, 16), "small": (8, 16, 32), "paper": (32, 64, 128)}
+
+
+def subsample_grid(n_eval_clients: int) -> List[int]:
+    """Powers-of-3 raw client counts up to the full pool (the paper's
+    x-axes: 1, 3, 9, 27, ..., N)."""
+    if n_eval_clients < 1:
+        raise ValueError(f"n_eval_clients must be >= 1, got {n_eval_clients}")
+    grid = []
+    c = 1
+    while c < n_eval_clients:
+        grid.append(c)
+        c *= 3
+    grid.append(n_eval_clients)
+    return grid
+
+
+class ExperimentContext:
+    """Lazily-constructed, cached experiment substrate.
+
+    Parameters
+    ----------
+    preset : dataset/model scale ("test", "small", "paper").
+    seed : root seed; every dataset, bank, and trial stream derives from it.
+    n_bank_configs : size of the shared config pool (paper: 128).
+    clients_per_round : training cohort size (paper: 10).
+    """
+
+    def __init__(
+        self,
+        preset: str = "test",
+        seed: int = 0,
+        n_bank_configs: int = 32,
+        clients_per_round: int = 10,
+        eta: int = 3,
+    ):
+        self.preset = preset
+        self.scale: DatasetScale = get_scale(preset)
+        self.seed = seed
+        self.n_bank_configs = n_bank_configs
+        self.clients_per_round = clients_per_round
+        self.eta = eta
+        self.rngs = RngFactory(seed)
+        self.space: SearchSpace = paper_space(batch_sizes=BATCH_CHOICES[preset])
+        shared_rng = self.rngs.make("shared-configs")
+        self.shared_configs = [self.space.sample(shared_rng) for _ in range(n_bank_configs)]
+        self._datasets: Dict[str, object] = {}
+        self._banks: Dict[Tuple[str, bool], ConfigBank] = {}
+
+    @property
+    def max_rounds(self) -> int:
+        """Per-config round cap (the paper's 405, scaled)."""
+        return self.scale.max_rounds_per_config
+
+    @property
+    def total_budget(self) -> int:
+        """Total tuning budget (the paper's 6480 = 16 x 405, scaled)."""
+        return self.scale.total_budget_rounds
+
+    def dataset(self, name: str):
+        """Load (and cache) a dataset at this context's preset and seed."""
+        if name not in self._datasets:
+            self._datasets[name] = load_dataset(name, self.preset, seed=self.seed)
+        return self._datasets[name]
+
+    def bank(self, name: str, store_params: bool = False) -> ConfigBank:
+        """Build (and cache) the dataset's config bank over the shared pool.
+
+        A params-storing bank satisfies requests for either variant, so at
+        most one bank per dataset is ever trained.
+        """
+        key_with = (name, True)
+        key_without = (name, False)
+        if store_params and key_with not in self._banks and key_without in self._banks:
+            # Must rebuild with params; drop the param-less bank.
+            del self._banks[key_without]
+        if store_params:
+            if key_with not in self._banks:
+                self._banks[key_with] = self._build_bank(name, store_params=True)
+            return self._banks[key_with]
+        if key_with in self._banks:
+            return self._banks[key_with]
+        if key_without not in self._banks:
+            self._banks[key_without] = self._build_bank(name, store_params=False)
+        return self._banks[key_without]
+
+    def _build_bank(self, name: str, store_params: bool) -> ConfigBank:
+        return ConfigBank.build(
+            self.dataset(name),
+            self.space,
+            n_configs=self.n_bank_configs,
+            max_rounds=self.max_rounds,
+            eta=self.eta,
+            clients_per_round=self.clients_per_round,
+            seed=self.rngs.make(f"bank-{name}"),
+            configs=self.shared_configs,
+            store_params=store_params,
+        )
+
+    def grid(self, name: str) -> List[int]:
+        """The subsampling grid for a dataset's validation pool."""
+        return subsample_grid(self.dataset(name).num_eval_clients)

@@ -1,0 +1,161 @@
+"""Figures 3 and 5: client subsampling vs. random-search quality.
+
+Figure 3 sweeps the evaluation subsampling rate and reports the median /
+quartile full-validation error of the config RS selects (bootstrapped from
+the bank, K = 16 per trial), plus the pool's best config ("Best HPs").
+
+Figure 5 plots the *online* view: incumbent full error as the round budget
+is consumed, one curve per subsampling rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.noise import NoiseConfig
+from repro.core.random_search import RandomSearch
+from repro.experiments.bank import BankTrialRunner, ConfigBank, bank_config_source
+from repro.experiments.context import ExperimentContext, subsample_grid
+from repro.utils.records import Record
+from repro.utils.rng import RngFactory
+from repro.utils.stats import median_and_quartiles
+
+
+def bootstrap_rs_final_errors(
+    bank: ConfigBank,
+    noise: NoiseConfig,
+    n_trials: int,
+    k: int = 16,
+    seed: int = 0,
+    space=None,
+) -> np.ndarray:
+    """Final full-validation error of ``n_trials`` bootstrapped RS runs.
+
+    Config resampling and evaluation noise use *separate* streams derived
+    from ``(seed, trial)``: sweeping a noise parameter under the same seed
+    reuses identical config draws per trial (common random numbers), so
+    sweep curves differ only through the noise being studied.
+    """
+    from repro.core.search_space import paper_space
+
+    space = space if space is not None else paper_space()
+    rngs = RngFactory(seed)
+    errors = np.empty(n_trials)
+    for t in range(n_trials):
+        fac = rngs.child(f"trial-{t}")
+        runner = BankTrialRunner(bank)
+        rs = RandomSearch(
+            space,
+            runner,
+            noise,
+            n_configs=k,
+            total_budget=k * bank.max_rounds,
+            seed=fac.make("eval"),
+            config_source=bank_config_source(bank, fac.make("configs")),
+        )
+        errors[t] = rs.run().final_full_error
+    return errors
+
+
+def bootstrap_rs_curves(
+    bank: ConfigBank,
+    noise: NoiseConfig,
+    n_trials: int,
+    k: int = 16,
+    seed: int = 0,
+    space=None,
+) -> np.ndarray:
+    """Incumbent full-error curves, shape ``(n_trials, k)`` — column ``i``
+    is the incumbent after ``(i+1) * max_rounds`` budget."""
+    from repro.core.search_space import paper_space
+
+    space = space if space is not None else paper_space()
+    rngs = RngFactory(seed)
+    curves = np.full((n_trials, k), np.nan)
+    for t in range(n_trials):
+        fac = rngs.child(f"trial-{t}")
+        runner = BankTrialRunner(bank)
+        rs = RandomSearch(
+            space,
+            runner,
+            noise,
+            n_configs=k,
+            total_budget=k * bank.max_rounds,
+            seed=fac.make("eval"),
+            config_source=bank_config_source(bank, fac.make("configs")),
+        )
+        result = rs.run()
+        for i, point in enumerate(result.curve[:k]):
+            curves[t, i] = point.full_error
+    return curves
+
+
+def run_figure3(
+    ctx: ExperimentContext,
+    dataset_names: Sequence[str] = ("cifar10", "femnist", "stackoverflow", "reddit"),
+    n_trials: int = 20,
+    k: int = 16,
+    counts: Optional[Dict[str, Sequence[int]]] = None,
+    scheme: str = "weighted",
+) -> List[Record]:
+    """Figure 3: median/quartile RS error per subsampling count per dataset."""
+    records: List[Record] = []
+    for name in dataset_names:
+        bank = ctx.bank(name)
+        n_eval = bank.errors.shape[2]
+        grid = counts[name] if counts else subsample_grid(n_eval)
+        best = bank.best_full_error(scheme)
+        for count in grid:
+            noise = NoiseConfig(subsample=None if count >= n_eval else int(count), scheme=scheme)
+            errors = bootstrap_rs_final_errors(
+                bank, noise, n_trials, k=k, seed=ctx.seed, space=ctx.space
+            )
+            q25, median, q75 = median_and_quartiles(errors)
+            records.append(
+                Record(
+                    figure="fig3",
+                    dataset=name,
+                    subsample_count=int(count),
+                    subsample_pct=100.0 * count / n_eval,
+                    q25=q25,
+                    median=median,
+                    q75=q75,
+                    best_hps=best,
+                )
+            )
+    return records
+
+
+def run_figure5(
+    ctx: ExperimentContext,
+    dataset_names: Sequence[str] = ("cifar10", "femnist", "stackoverflow", "reddit"),
+    n_trials: int = 20,
+    k: int = 16,
+    counts: Optional[Dict[str, Sequence[int]]] = None,
+    scheme: str = "weighted",
+) -> List[Record]:
+    """Figure 5: incumbent error vs. training budget per subsampling rate."""
+    records: List[Record] = []
+    for name in dataset_names:
+        bank = ctx.bank(name)
+        n_eval = bank.errors.shape[2]
+        grid = counts[name] if counts else [1, max(1, n_eval // 3), n_eval]
+        for count in grid:
+            noise = NoiseConfig(subsample=None if count >= n_eval else int(count), scheme=scheme)
+            curves = bootstrap_rs_curves(
+                bank, noise, n_trials, k=k, seed=ctx.seed, space=ctx.space
+            )
+            medians = np.nanmedian(curves, axis=0)
+            for i, median in enumerate(medians):
+                records.append(
+                    Record(
+                        figure="fig5",
+                        dataset=name,
+                        subsample_count=int(count),
+                        budget_rounds=(i + 1) * bank.max_rounds,
+                        median=float(median),
+                    )
+                )
+    return records

@@ -1,0 +1,63 @@
+"""ASCII reporting: render experiment records the way the paper's tables
+and figure axes read."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.utils.records import Record
+
+
+def format_table(
+    records: Sequence[Record],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render records as a fixed-width text table over ``columns``."""
+    if not columns:
+        raise ValueError("need at least one column")
+
+    def cell(value) -> str:
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    rows = [[cell(r.get(c, "")) for c in columns] for r in records]
+    widths = [max(len(c), *(len(row[i]) for row in rows)) if rows else len(c) for i, c in enumerate(columns)]
+    sep = "  "
+    lines = []
+    if title:
+        lines.append(title)
+    header = sep.join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(sep.join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Dict[str, Sequence[float]],
+    x: Sequence,
+    x_label: str = "x",
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render several named series sharing an x-axis (one line per x)."""
+    names = list(series)
+    records = []
+    for i, xv in enumerate(x):
+        rec = Record({x_label: xv})
+        for name in names:
+            rec[name] = float(series[name][i])
+        records.append(rec)
+    return format_table(records, [x_label, *names], title=title, float_fmt=float_fmt)
+
+
+def summarize_trials(errors: Sequence[float]) -> Record:
+    """The paper's per-sweep-point summary: median and quartiles."""
+    from repro.utils.stats import median_and_quartiles
+
+    q25, median, q75 = median_and_quartiles(list(errors))
+    return Record(q25=q25, median=median, q75=q75)

@@ -1,0 +1,50 @@
+"""Tables 1 and 2: dataset statistics."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.datasets.registry import DATASET_NAMES, dataset_statistics
+from repro.experiments.context import ExperimentContext
+from repro.experiments.reporting import format_table
+from repro.utils.records import Record
+
+TABLE1_COLUMNS = ("dataset", "train_clients", "eval_clients", "mean_examples", "total_examples")
+TABLE2_COLUMNS = (
+    "dataset",
+    "task",
+    "train_clients",
+    "eval_clients",
+    "mean_examples",
+    "min_examples",
+    "max_examples",
+    "total_examples",
+)
+
+
+def run_table1(ctx: ExperimentContext, dataset_names: Sequence[str] = DATASET_NAMES) -> List[Record]:
+    """Table 1: client counts and example statistics."""
+    records = []
+    for name in dataset_names:
+        rec = dataset_statistics(ctx.dataset(name))
+        rec["table"] = "table1"
+        records.append(rec)
+    return records
+
+
+def run_table2(ctx: ExperimentContext, dataset_names: Sequence[str] = DATASET_NAMES) -> List[Record]:
+    """Table 2: Table 1 plus task type and min/max per-client sizes."""
+    records = []
+    for name in dataset_names:
+        rec = dataset_statistics(ctx.dataset(name))
+        rec["table"] = "table2"
+        records.append(rec)
+    return records
+
+
+def print_table1(ctx: ExperimentContext) -> str:
+    return format_table(run_table1(ctx), TABLE1_COLUMNS, title="Table 1: dataset statistics")
+
+
+def print_table2(ctx: ExperimentContext) -> str:
+    return format_table(run_table2(ctx), TABLE2_COLUMNS, title="Table 2: detailed dataset statistics")

@@ -1,0 +1,51 @@
+"""Cross-device federated learning simulator.
+
+Implements the training/evaluation workflow of the paper's §2.1 and
+Algorithm 2: a server holds global model parameters; each round it samples
+a small client cohort, runs local SGD on each client, aggregates the
+weighted parameter average, and applies a server optimizer (FedAdam family,
+Reddi et al. 2020) to the pseudo-gradient.
+"""
+
+from repro.fl.client import ClientTrainer, evaluate_client
+from repro.fl.server import (
+    FedAdagrad,
+    FedAdam,
+    FedAvg,
+    FedAvgM,
+    FedYogi,
+    ServerOptimizer,
+    make_server_optimizer,
+)
+from repro.fl.sampling import BiasedSampler, UniformSampler, biased_weights
+from repro.fl.trainer import FederatedTrainer, LocalTrainingConfig
+from repro.fl.evaluation import (
+    client_error_rates,
+    evaluate_model,
+    federated_error,
+    tail_error,
+)
+
+__all__ = [
+    "ClientTrainer",
+    "evaluate_client",
+    "ServerOptimizer",
+    "FedAvg",
+    "FedAvgM",
+    "FedSGD",
+    "FedAdam",
+    "FedAdagrad",
+    "FedYogi",
+    "make_server_optimizer",
+    "UniformSampler",
+    "BiasedSampler",
+    "biased_weights",
+    "FederatedTrainer",
+    "LocalTrainingConfig",
+    "client_error_rates",
+    "evaluate_model",
+    "federated_error",
+    "tail_error",
+]
+
+FedSGD = FedAvg  # FedAvg with server lr is exactly server-side SGD.

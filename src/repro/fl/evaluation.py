@@ -1,0 +1,99 @@
+"""Federated evaluation: per-client error rates and weighted aggregation.
+
+Implements Eq. 2 of the paper: the validation objective is a weighted sum
+of per-client error rates, over either the full validation pool
+(``S = [N_val]``) or a subsampled cohort.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.datasets.base import ClientData, FederatedDataset, TaskSpec
+from repro.nn.module import Module, set_flat_params
+from repro.fl.client import evaluate_client
+from repro.utils.stats import weighted_mean
+
+
+def client_error_rates(
+    model: Module, clients: Sequence[ClientData], task: TaskSpec
+) -> np.ndarray:
+    """Per-client error rates of ``model`` (each in [0, 1])."""
+    rates = np.empty(len(clients))
+    for k, client in enumerate(clients):
+        n_err, n_tot = evaluate_client(model, client, task)
+        rates[k] = n_err / n_tot
+    return rates
+
+
+def federated_error(
+    error_rates: np.ndarray,
+    weights: np.ndarray,
+    subset: Optional[np.ndarray] = None,
+) -> float:
+    """Aggregate per-client error rates into the Eq. 2 objective.
+
+    ``subset`` restricts both rates and weights to a sampled cohort
+    (subsampled evaluation); ``None`` uses every client (full evaluation).
+    """
+    error_rates = np.asarray(error_rates, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if error_rates.shape != weights.shape:
+        raise ValueError(
+            f"shape mismatch: rates {error_rates.shape} vs weights {weights.shape}"
+        )
+    if subset is not None:
+        subset = np.asarray(subset)
+        error_rates = error_rates[subset]
+        weights = weights[subset]
+    return weighted_mean(error_rates, weights)
+
+
+def tail_error(
+    error_rates: np.ndarray,
+    percentile: float = 90.0,
+    subset: Optional[np.ndarray] = None,
+) -> float:
+    """Tail objective: the ``percentile``-th percentile of per-client error.
+
+    The paper's §6 points out that HP tuning on *average* performance can
+    hide bad tails under heterogeneity (mirroring fair-FL work, Mohri et
+    al. 2019; Li et al. 2020c). This is the complementary measurement:
+    ``tail_error(rates, 90)`` is the error experienced by the worst decile
+    of clients.
+    """
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    error_rates = np.asarray(error_rates, dtype=np.float64)
+    if subset is not None:
+        error_rates = error_rates[np.asarray(subset)]
+    if error_rates.size == 0:
+        raise ValueError("tail_error of empty cohort")
+    return float(np.percentile(error_rates, percentile))
+
+
+def evaluate_model(
+    model: Module,
+    dataset: FederatedDataset,
+    params: Optional[np.ndarray] = None,
+    subset: Optional[np.ndarray] = None,
+    scheme: str = "weighted",
+) -> float:
+    """End-to-end evaluation: error rates + aggregation in one call.
+
+    ``params`` (if given) is loaded into ``model`` first; ``subset`` indexes
+    into the validation client pool; ``scheme`` selects the paper's weighted
+    or uniform objective.
+    """
+    if params is not None:
+        set_flat_params(model, params)
+    clients = dataset.eval_clients
+    weights = dataset.eval_weights(scheme)
+    if subset is not None:
+        subset = np.asarray(subset)
+        clients = [clients[i] for i in subset]
+        weights = weights[subset]
+    rates = client_error_rates(model, clients, dataset.task)
+    return weighted_mean(rates, weights)

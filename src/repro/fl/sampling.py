@@ -1,0 +1,73 @@
+"""Client samplers: uniform and systems-heterogeneity-biased selection.
+
+The paper samples clients *uniformly without replacement* for training and
+evaluation (§2.1), and models systems heterogeneity (§3.2) by biasing
+evaluation sampling towards clients on which the current model performs
+well: client k gets selection weight ``(a_k + δ)^b`` where ``a_k`` is its
+accuracy, δ = 1e-4 keeps weights positive, and ``b`` controls bias strength
+(b = 0 recovers uniform sampling).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_rng
+
+
+class UniformSampler:
+    """Sample ``size`` client indices uniformly without replacement."""
+
+    def __init__(self, n_clients: int):
+        if n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {n_clients}")
+        self.n_clients = n_clients
+
+    def sample(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        if not 1 <= size <= self.n_clients:
+            raise ValueError(f"size must be in [1, {self.n_clients}], got {size}")
+        rng = as_rng(rng)
+        return rng.choice(self.n_clients, size=size, replace=False)
+
+
+def biased_weights(accuracies: np.ndarray, b: float, delta: float = 1e-4) -> np.ndarray:
+    """Selection probabilities ``(a_k + δ)^b`` normalised to sum to 1."""
+    accuracies = np.asarray(accuracies, dtype=np.float64)
+    if np.any(accuracies < 0) or np.any(accuracies > 1):
+        raise ValueError("accuracies must lie in [0, 1]")
+    if b < 0:
+        raise ValueError(f"bias exponent b must be >= 0, got {b}")
+    w = (accuracies + delta) ** b
+    return w / w.sum()
+
+
+class BiasedSampler:
+    """Accuracy-biased sampling without replacement (systems heterogeneity).
+
+    Uses the Gumbel top-k trick for weighted sampling without replacement:
+    perturb log-weights with Gumbel noise and take the top ``size`` — an
+    exact sampler for the successive-draws-without-replacement model.
+    """
+
+    def __init__(self, b: float, delta: float = 1e-4):
+        if b < 0:
+            raise ValueError(f"bias exponent b must be >= 0, got {b}")
+        self.b = b
+        self.delta = delta
+
+    def sample(
+        self, accuracies: np.ndarray, size: int, rng: SeedLike = None
+    ) -> np.ndarray:
+        accuracies = np.asarray(accuracies, dtype=np.float64)
+        n = accuracies.size
+        if not 1 <= size <= n:
+            raise ValueError(f"size must be in [1, {n}], got {size}")
+        rng = as_rng(rng)
+        if self.b == 0.0:
+            return rng.choice(n, size=size, replace=False)
+        probs = biased_weights(accuracies, self.b, self.delta)
+        gumbel = rng.gumbel(size=n)
+        keys = np.log(probs) + gumbel
+        return np.argpartition(-keys, size - 1)[:size]

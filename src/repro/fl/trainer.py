@@ -1,0 +1,149 @@
+"""The federated training loop (Algorithm 2 of the paper).
+
+Each round: sample a client cohort uniformly without replacement, run local
+SGD on each client from the current global parameters, aggregate the
+weighted average of the resulting parameters, and apply the server
+optimizer to the pseudo-gradient ``w - avg``.
+
+:class:`FederatedTrainer` is resumable — ``run(n)`` advances ``n`` rounds
+from wherever training stopped — which is what successive-halving tuners
+need to continue promising configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import FederatedDataset
+from repro.fl.client import ClientTrainer
+from repro.fl.evaluation import client_error_rates, evaluate_model
+from repro.fl.sampling import UniformSampler
+from repro.fl.server import ServerOptimizer
+from repro.nn.module import Module, get_flat_params, set_flat_params
+from repro.utils.rng import SeedLike, as_rng
+
+
+@dataclass(frozen=True)
+class LocalTrainingConfig:
+    """Client-side hyperparameters (paper Appendix B).
+
+    ``prox_mu`` enables the FedProx proximal term (Li et al., 2020); the
+    paper's experiments use plain local SGD (``prox_mu = 0``).
+    """
+
+    lr: float
+    momentum: float = 0.0
+    weight_decay: float = 5e-5
+    batch_size: int = 32
+    epochs: int = 1
+    prox_mu: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"client lr must be positive, got {self.lr}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {self.weight_decay}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.prox_mu < 0:
+            raise ValueError(f"prox_mu must be >= 0, got {self.prox_mu}")
+
+
+class FederatedTrainer:
+    """Trains one model on one federated dataset under fixed hyperparameters.
+
+    Parameters
+    ----------
+    dataset : the federated dataset (train pool is used here).
+    server_opt : a :class:`ServerOptimizer` (its HPs are part of the config).
+    local : client-side hyperparameters.
+    clients_per_round : cohort size per round (paper: 10, uniform).
+    scheme : "weighted" (by example count) or "uniform" client aggregation,
+        matching the evaluation weighting per the paper's footnote 1.
+    seed : controls model init, cohort sampling, and local batch order.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        server_opt: ServerOptimizer,
+        local: LocalTrainingConfig,
+        clients_per_round: int = 10,
+        scheme: str = "weighted",
+        seed: SeedLike = 0,
+    ):
+        if clients_per_round < 1:
+            raise ValueError(f"clients_per_round must be >= 1, got {clients_per_round}")
+        self.dataset = dataset
+        self.server_opt = server_opt
+        self.local = local
+        self.clients_per_round = min(clients_per_round, dataset.num_train_clients)
+        self.scheme = scheme
+        self._rng = as_rng(seed)
+        # Model init must be deterministic in the seed: derive an init seed
+        # from the sampling stream.
+        init_seed = int(self._rng.integers(0, 2**63 - 1))
+        self.model: Module = dataset.task.build_model(init_seed)
+        self.params: np.ndarray = get_flat_params(self.model)
+        self._sampler = UniformSampler(dataset.num_train_clients)
+        self._client_trainer = ClientTrainer(
+            dataset.task,
+            lr=local.lr,
+            momentum=local.momentum,
+            weight_decay=local.weight_decay,
+            batch_size=local.batch_size,
+            epochs=local.epochs,
+            prox_mu=local.prox_mu,
+        )
+        self._train_weights = dataset.train_weights(scheme)
+        self.rounds_completed = 0
+
+    def run_round(self) -> None:
+        """One communication round (the inner loop of Algorithm 2)."""
+        cohort = self._sampler.sample(self.clients_per_round, self._rng)
+        updates = np.empty((len(cohort), self.params.size))
+        weights = self._train_weights[cohort]
+        for i, k in enumerate(cohort):
+            updates[i] = self._client_trainer.train(
+                self.model, self.params, self.dataset.train_clients[k], self._rng
+            )
+        avg = np.average(updates, axis=0, weights=weights)
+        pseudo_grad = self.params - avg
+        if not np.all(np.isfinite(pseudo_grad)):
+            # A client diverged under this config. Freeze the global model:
+            # the config will evaluate poorly, which is the correct signal.
+            self.rounds_completed += 1
+            return
+        self.params = self.server_opt.step(self.params, pseudo_grad)
+        self.rounds_completed += 1
+
+    def run(self, n_rounds: int) -> "FederatedTrainer":
+        """Advance ``n_rounds`` more rounds; returns self for chaining."""
+        if n_rounds < 0:
+            raise ValueError(f"n_rounds must be >= 0, got {n_rounds}")
+        for _ in range(n_rounds):
+            self.run_round()
+        return self
+
+    # -- evaluation conveniences --------------------------------------------
+    def eval_error_rates(self) -> np.ndarray:
+        """Per-validation-client error rates of the current global model."""
+        set_flat_params(self.model, self.params)
+        return client_error_rates(self.model, self.dataset.eval_clients, self.dataset.task)
+
+    def full_validation_error(self, scheme: Optional[str] = None) -> float:
+        """Full-pool validation error (Eq. 2 with S = [N_val])."""
+        return evaluate_model(
+            self.model,
+            self.dataset,
+            params=self.params,
+            subset=None,
+            scheme=scheme or self.scheme,
+        )

@@ -1,0 +1,94 @@
+"""Stateless numerical building blocks (softmax, one-hot, im2col)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` -> one-hot ``(N, num_classes)`` float64."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError(f"labels out of range [0, {num_classes})")
+    out = np.zeros((labels.size, num_classes), dtype=np.float64)
+    out[np.arange(labels.size), labels] = 1.0
+    return out
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold NCHW images into patch columns for convolution-as-matmul.
+
+    Returns ``(cols, out_h, out_w)`` where ``cols`` has shape
+    ``(N * out_h * out_w, C * kh * kw)``. The heavy lifting is a strided
+    view + reshape, so there are no Python loops over pixels.
+    """
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kh, stride, pad)
+    out_w = _out_size(w, kw, stride, pad)
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(f"kernel ({kh}x{kw}) too large for input ({h}x{w}) with pad={pad}")
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    sn, sc, sh, sw = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, out_h, out_w, kh, kw),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    # (N, out_h, out_w, C, kh, kw) -> rows are receptive fields.
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(n * out_h * out_w, c * kh * kw)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold patch-column gradients back into an NCHW gradient (im2col adjoint).
+
+    Overlapping patches accumulate, which is exactly the adjoint of the
+    strided-view read in :func:`im2col`.
+    """
+    n, c, h, w = x_shape
+    out_h = _out_size(h, kh, stride, pad)
+    out_w = _out_size(w, kw, stride, pad)
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 1, 2, 4, 5)
+    dx = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    # Loop over the (small) kernel footprint; each step is a vectorized add
+    # over all output positions at once.
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
+                :, :, :, :, i, j
+            ]
+    if pad > 0:
+        dx = dx[:, :, pad : pad + h, pad : pad + w]
+    return dx

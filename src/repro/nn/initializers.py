@@ -1,0 +1,62 @@
+"""Weight initializers.
+
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is fully deterministic given a seed — a hard requirement for
+the configuration-bank methodology (the same HP config must always map to
+the same initial weights within a trial).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv weight shapes."""
+    if len(shape) < 1:
+        raise ValueError("initializer shape must have at least 1 dim")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:  # (in, out)
+        return shape[0], shape[1]
+    # Conv (out_channels, in_channels, kh, kw)
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive
+
+
+def glorot_uniform(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6/(fan_in+fan_out))."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)) — suited to ReLU layers."""
+    fan_in, _ = _fan_in_out(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def normal_init(shape: Sequence[int], rng: np.random.Generator, std: float = 0.02) -> np.ndarray:
+    """Plain normal init (used for embeddings)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros_init(shape: Sequence[int], rng: np.random.Generator = None) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def orthogonal(shape: Sequence[int], rng: np.random.Generator) -> np.ndarray:
+    """Orthogonal init for recurrent weight matrices (2-D shapes only)."""
+    if len(shape) != 2:
+        raise ValueError(f"orthogonal init requires a 2-D shape, got {shape}")
+    rows, cols = shape
+    size = max(rows, cols)
+    a = rng.normal(0.0, 1.0, size=(size, size))
+    q, r = np.linalg.qr(a)
+    # Sign correction makes the distribution uniform over orthogonal matrices.
+    q = q * np.sign(np.diag(r))
+    return q[:rows, :cols].copy()

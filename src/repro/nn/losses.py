@@ -1,0 +1,82 @@
+"""Classification losses returning ``(loss, dlogits)`` pairs.
+
+Losses are plain functions (not Modules): they terminate the graph, so the
+caller feeds ``dlogits`` straight into the model's ``backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.functional import log_softmax, softmax
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy over a batch.
+
+    Parameters
+    ----------
+    logits : ``(N, C)`` float array.
+    labels : ``(N,)`` integer class ids.
+
+    Returns
+    -------
+    ``(loss, dlogits)`` with ``dlogits`` already scaled by ``1/N`` so the
+    caller can run ``model.backward(dlogits)`` directly.
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be (N, C), got {logits.shape}")
+    n, c = logits.shape
+    if labels.shape != (n,):
+        raise ValueError(f"labels must be ({n},), got {labels.shape}")
+    if n == 0:
+        raise ValueError("empty batch")
+    logp = log_softmax(logits, axis=1)
+    loss = -logp[np.arange(n), labels].mean()
+    dlogits = softmax(logits, axis=1)
+    dlogits[np.arange(n), labels] -= 1.0
+    dlogits /= n
+    return float(loss), dlogits
+
+
+def sequence_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tuple[float, np.ndarray]:
+    """Token-averaged cross-entropy for next-token prediction.
+
+    Parameters
+    ----------
+    logits : ``(N, T, V)`` float array.
+    labels : ``(N, T)`` integer token ids.
+    mask : optional ``(N, T)`` array in {0, 1}; masked-out (0) positions —
+        e.g. padding — contribute neither loss nor gradient. The loss is
+        averaged over *unmasked tokens*, matching per-token perplexity.
+    """
+    if logits.ndim != 3:
+        raise ValueError(f"logits must be (N, T, V), got {logits.shape}")
+    n, t, v = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (n, t):
+        raise ValueError(f"labels must be ({n},{t}), got {labels.shape}")
+    if mask is None:
+        mask = np.ones((n, t), dtype=np.float64)
+    else:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (n, t):
+            raise ValueError(f"mask must be ({n},{t}), got {mask.shape}")
+    denom = mask.sum()
+    if denom <= 0:
+        raise ValueError("mask excludes every token")
+    flat_logits = logits.reshape(n * t, v)
+    flat_labels = labels.reshape(n * t)
+    flat_mask = mask.reshape(n * t)
+    logp = log_softmax(flat_logits, axis=1)
+    token_nll = -logp[np.arange(n * t), flat_labels]
+    loss = float((token_nll * flat_mask).sum() / denom)
+    dflat = softmax(flat_logits, axis=1)
+    dflat[np.arange(n * t), flat_labels] -= 1.0
+    dflat *= (flat_mask / denom)[:, None]
+    return loss, dflat.reshape(n, t, v)

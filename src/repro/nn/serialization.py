@@ -1,0 +1,37 @@
+"""Model parameter persistence (.npz).
+
+Stores the flat parameter vector plus per-parameter shape metadata so a
+mismatched architecture is rejected at load time instead of silently
+reshaping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, get_flat_params, set_flat_params
+
+
+def save_params(module: Module, path: str) -> None:
+    """Write ``module``'s parameters to ``path`` (.npz)."""
+    shapes = np.array([list(p.shape) + [-1] * (4 - len(p.shape)) for p in module.parameters()])
+    np.savez_compressed(path, flat=get_flat_params(module), shapes=shapes)
+
+
+def load_params(module: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_params` into ``module``.
+
+    Raises ``ValueError`` if the stored shapes do not match the module's
+    architecture.
+    """
+    with np.load(path) as data:
+        flat = data["flat"]
+        shapes = data["shapes"]
+    current = np.array(
+        [list(p.shape) + [-1] * (4 - len(p.shape)) for p in module.parameters()]
+    )
+    if shapes.shape != current.shape or not np.array_equal(shapes, current):
+        raise ValueError(
+            f"architecture mismatch: stored {shapes.tolist()} vs module {current.tolist()}"
+        )
+    set_flat_params(module, flat)

@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG management, records, serialization."""
+
+from repro.utils.rng import RngFactory, as_rng, spawn_rngs
+from repro.utils.records import Record, records_to_json, records_from_json
+from repro.utils.stats import median_and_quartiles, weighted_mean
+
+__all__ = [
+    "RngFactory",
+    "as_rng",
+    "spawn_rngs",
+    "Record",
+    "records_to_json",
+    "records_from_json",
+    "median_and_quartiles",
+    "weighted_mean",
+]

@@ -1,0 +1,63 @@
+"""Lightweight result records with JSON round-tripping.
+
+Experiments produce long lists of small, flat measurements (one per trial
+per sweep point). :class:`Record` is a dict-with-attribute-access that keeps
+serialization trivial while staying friendly to NumPy scalar types.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+import numpy as np
+
+
+def _to_builtin(value: Any) -> Any:
+    """Convert NumPy scalars/arrays to plain Python for JSON."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {k: _to_builtin(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_builtin(v) for v in value]
+    return value
+
+
+class Record(dict):
+    """A flat measurement record: ``Record(dataset="cifar10", error=0.42)``.
+
+    Behaves like a dict but also allows attribute access for readability in
+    analysis code (``r.error`` instead of ``r["error"]``).
+    """
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self[name]
+        except KeyError as exc:  # pragma: no cover - error path
+            raise AttributeError(name) from exc
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        self[name] = value
+
+    def to_builtin(self) -> Dict[str, Any]:
+        """Return a JSON-safe plain-dict copy."""
+        return {k: _to_builtin(v) for k, v in self.items()}
+
+
+def records_to_json(records: Iterable[Record], path: str) -> None:
+    """Serialize records to a JSON file (one list of objects)."""
+    payload = [r.to_builtin() if isinstance(r, Record) else _to_builtin(dict(r)) for r in records]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def records_from_json(path: str) -> List[Record]:
+    """Load records previously written by :func:`records_to_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, list):
+        raise ValueError(f"{path} does not contain a list of records")
+    return [Record(item) for item in payload]

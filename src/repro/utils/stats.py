@@ -1,0 +1,34 @@
+"""Small statistics helpers shared by the FL simulator and experiments."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted average ``sum(w_k v_k) / sum(w_k)`` (paper Eq. 2).
+
+    Raises ``ValueError`` on empty input or non-positive total weight, which
+    in the simulator signals an empty evaluation cohort — always a bug.
+    """
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError(f"shape mismatch: values {v.shape} vs weights {w.shape}")
+    if v.size == 0:
+        raise ValueError("weighted_mean of empty sequence")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError(f"total weight must be positive, got {total}")
+    return float(np.dot(v, w) / total)
+
+
+def median_and_quartiles(values: Sequence[float]) -> Tuple[float, float, float]:
+    """Return ``(q25, median, q75)`` — the summary the paper plots per sweep point."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("median_and_quartiles of empty sequence")
+    q25, q50, q75 = np.percentile(v, [25.0, 50.0, 75.0])
+    return float(q25), float(q50), float(q75)

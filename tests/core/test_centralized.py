@@ -1,0 +1,86 @@
+"""Tests for the Algorithm-1 centralized runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CentralizedTrialRunner,
+    NoiseConfig,
+    OneShotProxySearch,
+    RandomSearch,
+    FederatedTrialRunner,
+    paper_space,
+)
+from repro.datasets import load_dataset
+
+SPACE = paper_space(batch_sizes=(4, 8, 16))
+
+
+@pytest.fixture(scope="module")
+def cifar():
+    return load_dataset("cifar10", "test", seed=0)
+
+
+def good_config(seed=0):
+    cfg = SPACE.sample(np.random.default_rng(seed))
+    # Centralized SGD takes many more steps per round than federated local
+    # training, so a good lr here is smaller than the federated sweet spot.
+    cfg.update(client_lr=0.01, client_momentum=0.5, batch_size=8)
+    return cfg
+
+
+class TestCentralizedTrialRunner:
+    def test_training_reduces_error(self, cifar):
+        runner = CentralizedTrialRunner(cifar, max_rounds=8, seed=0)
+        trial = runner.create(good_config())
+        before = runner.full_error(trial)
+        runner.advance(trial, 8)
+        after = runner.full_error(trial)
+        assert after < before
+
+    def test_centralized_ignores_server_hps(self, cifar):
+        """Algorithm 1 has no server optimizer: two configs differing only
+        in server HPs must train identically."""
+        runner = CentralizedTrialRunner(cifar, max_rounds=4, seed=0)
+        cfg_a = good_config()
+        cfg_b = dict(cfg_a, server_lr=1e-6, server_beta1=0.0)
+        # Same runner -> per-trial seeds differ; use two runners instead.
+        r1 = CentralizedTrialRunner(cifar, max_rounds=4, seed=3)
+        r2 = CentralizedTrialRunner(cifar, max_rounds=4, seed=3)
+        t1 = r1.create(cfg_a)
+        t2 = r2.create(cfg_b)
+        r1.advance(t1, 4)
+        r2.advance(t2, 4)
+        assert np.array_equal(r1.error_rates(t1), r2.error_rates(t2))
+
+    def test_divergent_lr_freezes(self, cifar):
+        runner = CentralizedTrialRunner(cifar, max_rounds=4, seed=0)
+        cfg = good_config()
+        cfg.update(client_lr=1e6)
+        trial = runner.create(cfg)
+        runner.advance(trial, 4)
+        assert 0.0 <= runner.full_error(trial) <= 1.0
+
+    def test_max_rounds_cap(self, cifar):
+        runner = CentralizedTrialRunner(cifar, max_rounds=3, seed=0)
+        trial = runner.create(good_config())
+        assert runner.advance(trial, 10) == 3
+
+    def test_rs_over_centralized_runner(self, cifar):
+        """Algorithm 1 end-to-end: RS with noiseless evaluation over the
+        centralized runner selects a config with sane full error."""
+        runner = CentralizedTrialRunner(cifar, max_rounds=4, seed=0)
+        result = RandomSearch(SPACE, runner, NoiseConfig(), n_configs=6, seed=0).run()
+        assert 0.0 <= result.final_full_error <= 1.0
+        assert len(result.observations) == 6
+
+    def test_as_proxy_side_of_one_shot_search(self, cifar):
+        """§4 workflow: centralized tuning on public proxy data, federated
+        training of the winner on the client network."""
+        proxy = load_dataset("femnist", "test", seed=0)
+        proxy_runner = CentralizedTrialRunner(proxy, max_rounds=4, seed=1)
+        target_runner = FederatedTrialRunner(cifar, max_rounds=6, seed=2)
+        search = OneShotProxySearch(SPACE, proxy_runner, target_runner, n_configs=6, seed=0)
+        result = search.run()
+        assert result.rounds_used == 6  # single-config federated training
+        assert 0.0 <= result.final_full_error <= 1.0

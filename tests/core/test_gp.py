@@ -1,0 +1,113 @@
+"""Tests for the Gaussian-process substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core import GaussianProcess, RBFKernel, fit_gp_with_model_selection
+
+
+class TestRBFKernel:
+    def test_diagonal_is_variance(self, rng):
+        k = RBFKernel(lengthscale=0.5, variance=2.0)
+        x = rng.random((5, 3))
+        cov = k(x, x)
+        assert np.allclose(np.diag(cov), 2.0)
+
+    def test_symmetry_and_psd(self, rng):
+        k = RBFKernel()
+        x = rng.random((10, 2))
+        cov = k(x, x)
+        assert np.allclose(cov, cov.T)
+        eigs = np.linalg.eigvalsh(cov)
+        assert eigs.min() > -1e-10
+
+    def test_decay_with_distance(self):
+        k = RBFKernel(lengthscale=0.1)
+        near = k(np.array([[0.0]]), np.array([[0.05]]))[0, 0]
+        far = k(np.array([[0.0]]), np.array([[0.5]]))[0, 0]
+        assert near > far
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBFKernel(lengthscale=0.0)
+        with pytest.raises(ValueError):
+            RBFKernel(variance=-1.0)
+
+
+class TestGaussianProcess:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise_variance=0.0)
+        gp = GaussianProcess()
+        with pytest.raises(RuntimeError):
+            gp.posterior(np.zeros((1, 1)))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((2, 1)), np.zeros(3))
+        with pytest.raises(ValueError):
+            gp.fit(np.zeros((0, 1)), np.zeros(0))
+
+    def test_interpolates_noiseless_data(self, rng):
+        x = rng.random((12, 1))
+        y = np.sin(6 * x[:, 0])
+        gp = GaussianProcess(RBFKernel(lengthscale=0.3), noise_variance=1e-8).fit(x, y)
+        mean, _ = gp.posterior(x)
+        assert np.allclose(mean, y, atol=1e-3)
+
+    def test_posterior_variance_shrinks_near_data(self, rng):
+        x = rng.random((10, 1))
+        y = np.sin(6 * x[:, 0])
+        gp = GaussianProcess(RBFKernel(lengthscale=0.2), noise_variance=1e-6).fit(x, y)
+        _, var_at_data = gp.posterior(x)
+        _, var_far = gp.posterior(np.array([[10.0]]))
+        assert var_at_data.max() < var_far[0]
+
+    def test_generalises_smooth_function(self, rng):
+        x = rng.random((40, 1))
+        y = np.sin(4 * x[:, 0])
+        gp = GaussianProcess(RBFKernel(lengthscale=0.3), noise_variance=1e-4).fit(x, y)
+        x_test = np.linspace(0.05, 0.95, 20)[:, None]
+        mean, _ = gp.posterior(x_test)
+        assert np.abs(mean - np.sin(4 * x_test[:, 0])).max() < 0.1
+
+    def test_unstandardised_targets_handled(self, rng):
+        # Large-offset targets: standardisation must keep the fit stable.
+        x = rng.random((15, 1))
+        y = 1000.0 + 5.0 * np.sin(6 * x[:, 0])
+        gp = GaussianProcess(RBFKernel(lengthscale=0.3), noise_variance=1e-6).fit(x, y)
+        mean, _ = gp.posterior(x)
+        assert np.allclose(mean, y, atol=0.5)
+
+    def test_noise_widens_predictive_band(self, rng):
+        x = rng.random((10, 1))
+        y = np.sin(6 * x[:, 0])
+        tight = GaussianProcess(RBFKernel(0.3), noise_variance=1e-6).fit(x, y)
+        loose = GaussianProcess(RBFKernel(0.3), noise_variance=0.5).fit(x, y)
+        _, var_tight = tight.posterior(x)
+        _, var_loose = loose.posterior(x)
+        assert var_loose.mean() > var_tight.mean()
+
+    def test_log_marginal_likelihood_prefers_true_noise(self):
+        """Model selection identifies noisy data: with noisy targets the
+        larger nugget wins the marginal likelihood."""
+        rng = np.random.default_rng(0)
+        x = rng.random((40, 1))
+        y = np.sin(5 * x[:, 0]) + rng.normal(0, 0.3, size=40)
+        small = GaussianProcess(RBFKernel(0.3), noise_variance=1e-4).fit(x, y)
+        big = GaussianProcess(RBFKernel(0.3), noise_variance=0.1).fit(x, y)
+        assert big.log_marginal_likelihood() > small.log_marginal_likelihood()
+
+
+class TestModelSelection:
+    def test_selects_large_nugget_for_noisy_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((40, 2))
+        y = x[:, 0] + rng.normal(0, 0.5, size=40)
+        gp = fit_gp_with_model_selection(x, y)
+        assert gp.noise_variance >= 1e-2
+
+    def test_selects_small_nugget_for_clean_data(self):
+        rng = np.random.default_rng(0)
+        x = rng.random((40, 2))
+        y = np.sin(3 * x[:, 0]) * np.cos(2 * x[:, 1])
+        gp = fit_gp_with_model_selection(x, y)
+        assert gp.noise_variance <= 1e-2

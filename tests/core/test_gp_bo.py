@@ -1,0 +1,104 @@
+"""Tests for GP-based Bayesian optimization (EI vs noise-aware NEI)."""
+
+import numpy as np
+import pytest
+
+from repro.core import GPBO, NoiseConfig, RandomSearch, SyntheticRunner, expected_improvement, paper_space
+
+SPACE = paper_space()
+
+
+def run_gpbo(seed, acquisition="ei", noise=NoiseConfig(), n_configs=14, heterogeneity=0.05):
+    runner = SyntheticRunner(n_clients=20, max_rounds=27, heterogeneity=heterogeneity, seed=0)
+    tuner = GPBO(
+        SPACE,
+        runner,
+        noise,
+        n_configs=n_configs,
+        seed=seed,
+        acquisition=acquisition,
+        n_candidates=64,
+        n_startup=4,
+    )
+    return tuner.run()
+
+
+class TestExpectedImprovement:
+    def test_zero_variance_clamps_to_improvement(self):
+        ei = expected_improvement(np.array([0.5, 0.2]), np.array([0.0, 0.0]), incumbent=0.4)
+        assert ei[0] == 0.0  # mean above incumbent, no variance -> no EI
+        assert ei[1] == pytest.approx(0.2)
+
+    def test_nonnegative(self, rng):
+        ei = expected_improvement(rng.normal(size=50), rng.random(50), incumbent=0.0)
+        assert np.all(ei >= 0)
+
+    def test_increases_with_variance_at_same_mean(self):
+        lo = expected_improvement(np.array([0.5]), np.array([0.01]), incumbent=0.4)
+        hi = expected_improvement(np.array([0.5]), np.array([1.0]), incumbent=0.4)
+        assert hi[0] > lo[0]
+
+    def test_increases_as_mean_drops(self):
+        worse = expected_improvement(np.array([0.6]), np.array([0.1]), incumbent=0.5)
+        better = expected_improvement(np.array([0.2]), np.array([0.1]), incumbent=0.5)
+        assert better[0] > worse[0]
+
+
+class TestGPBO:
+    def test_validation(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        with pytest.raises(ValueError):
+            GPBO(SPACE, runner, acquisition="ucb")
+        with pytest.raises(ValueError):
+            GPBO(SPACE, runner, n_candidates=0)
+        with pytest.raises(ValueError):
+            GPBO(SPACE, runner, n_startup=0)
+
+    def test_runs_and_proposes_valid_configs(self):
+        result = run_gpbo(seed=0)
+        assert len(result.observations) == 14
+        for obs in result.observations:
+            SPACE.validate(obs.config)
+
+    def test_method_name_reflects_acquisition(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        assert GPBO(SPACE, runner, acquisition="nei").method_name == "gp-bo-nei"
+
+    def test_noiseless_beats_random_startup(self):
+        """After the model kicks in, GPBO should improve on its own random
+        startup phase (noiseless surface)."""
+        result = run_gpbo(seed=1, n_configs=16)
+        startup_best = min(o.noisy_error for o in result.observations[:4])
+        final_best = min(o.noisy_error for o in result.observations)
+        assert final_best <= startup_best
+
+    def test_competitive_with_rs_noiseless(self):
+        seeds = range(6)
+        rs = np.median(
+            [
+                RandomSearch(
+                    SPACE,
+                    SyntheticRunner(n_clients=20, max_rounds=27, heterogeneity=0.05, seed=0),
+                    NoiseConfig(),
+                    n_configs=14,
+                    seed=s,
+                ).run().final_full_error
+                for s in seeds
+            ]
+        )
+        bo = np.median([run_gpbo(seed=s).final_full_error for s in seeds])
+        assert bo <= rs + 0.05
+
+    def test_nei_no_worse_than_ei_under_noise(self):
+        """The paper's §5 claim at unit scale: the noise-aware incumbent is
+        at least as good as noise-naive EI when evaluations are noisy
+        (median over seeds)."""
+        noise = NoiseConfig(subsample=1)
+        seeds = range(8)
+        ei = np.median(
+            [run_gpbo(seed=s, acquisition="ei", noise=noise, heterogeneity=0.15).final_full_error for s in seeds]
+        )
+        nei = np.median(
+            [run_gpbo(seed=s, acquisition="nei", noise=noise, heterogeneity=0.15).final_full_error for s in seeds]
+        )
+        assert nei <= ei + 0.03

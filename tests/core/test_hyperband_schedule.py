@@ -1,0 +1,81 @@
+"""Tests for Hyperband's schedule arithmetic and privacy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import Hyperband, NoiseConfig, SyntheticRunner, paper_space
+from repro.core.hyperband import bracket_cost, bracket_specs, sha_rungs
+
+SPACE = paper_space()
+
+
+class TestBracketCost:
+    def test_single_rung(self):
+        # 2 configs, r0=5, eta=3: 2//3=0 survivors -> one rung, cost 10.
+        assert bracket_cost(2, 5, 3, 405) == 10
+
+    def test_paper_bracket(self):
+        # 81 configs @ r0=5: rungs (81,5),(27,15),(9,45),(3,135),(1,405).
+        expected = 81 * 5 + 27 * 10 + 9 * 30 + 3 * 90 + 1 * 270
+        assert bracket_cost(81, 5, 3, 405) == expected
+
+    def test_cost_matches_simulated_run(self):
+        """The analytic bracket cost equals rounds actually consumed by a
+        real (noiseless) run with ample budget."""
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        hb = Hyperband(SPACE, runner, NoiseConfig(), n_brackets=1, total_budget=10**6, seed=0)
+        n, r0 = hb._specs[0]
+        hb._run_bracket(n, r0)
+        assert runner.rounds_used == bracket_cost(n, r0, 3, 27)
+
+
+class TestPlannedBrackets:
+    def test_cycles_until_budget_spent(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        hb = Hyperband(SPACE, runner, NoiseConfig(), total_budget=10_000, seed=0)
+        planned = hb._planned_brackets()
+        total_cost = sum(bracket_cost(n, r0, 3, 27) for n, r0 in planned)
+        assert total_cost >= 10_000
+        # Removing the last planned bracket must leave the budget unspent.
+        assert total_cost - bracket_cost(*planned[-1], 3, 27) < 10_000
+
+    def test_planned_releases_upper_bounds_actual(self):
+        """Privacy accounting must be conservative: the evaluator is sized
+        for at least as many releases as the run performs."""
+        for budget in (50, 200, 1000):
+            runner = SyntheticRunner(max_rounds=27, seed=0)
+            hb = Hyperband(
+                SPACE,
+                runner,
+                NoiseConfig(subsample=1, epsilon=10.0, scheme="uniform"),
+                total_budget=budget,
+                seed=0,
+            )
+            result = hb.run()
+            assert hb.planned_releases() >= len(result.observations), budget
+
+    def test_rs_releases_exact(self):
+        from repro.core import RandomSearch
+
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        rs = RandomSearch(
+            SPACE,
+            runner,
+            NoiseConfig(subsample=1, epsilon=10.0, scheme="uniform"),
+            n_configs=16,
+            seed=0,
+        )
+        result = rs.run()
+        assert rs.planned_releases() == len(result.observations) == 16
+
+
+class TestRungPromotion:
+    def test_rungs_consistent_with_cost(self):
+        for n, r0 in ((81, 5), (34, 15), (15, 45), (8, 135), (5, 405)):
+            rungs = sha_rungs(n, r0, 3, 405)
+            # Each rung trains strictly fewer configs to strictly more rounds.
+            ns = [x for x, _ in rungs]
+            rs = [r for _, r in rungs]
+            assert ns == sorted(ns, reverse=True)
+            assert rs == sorted(rs)
+            assert rs[-1] <= 405

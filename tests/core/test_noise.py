@@ -1,0 +1,152 @@
+"""Tests for the evaluation-noise stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseConfig, NoisyEvaluator, PrivacyConfig
+
+
+class TestNoiseConfig:
+    def test_noiseless_detection(self):
+        assert NoiseConfig().noiseless
+        assert not NoiseConfig(subsample=1).noiseless
+        assert not NoiseConfig(bias_b=1.0).noiseless
+        assert not NoiseConfig(epsilon=1.0, scheme="uniform").noiseless
+
+    def test_inf_epsilon_is_non_private(self):
+        cfg = NoiseConfig(epsilon=np.inf)
+        assert not cfg.private
+        assert cfg.noiseless is False or cfg.subsample is None
+
+    def test_dp_requires_uniform(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(epsilon=1.0, scheme="weighted")
+        NoiseConfig(epsilon=1.0, scheme="uniform")  # fine
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            NoiseConfig(subsample=0)
+        with pytest.raises(ValueError):
+            NoiseConfig(subsample=0.0)
+        with pytest.raises(ValueError):
+            NoiseConfig(subsample=1.5)
+        with pytest.raises(ValueError):
+            NoiseConfig(bias_b=-1.0)
+        with pytest.raises(ValueError):
+            NoiseConfig(scheme="exotic")
+
+    def test_cohort_size_resolution(self):
+        assert NoiseConfig().cohort_size(100) == 100
+        assert NoiseConfig(subsample=3).cohort_size(100) == 3
+        assert NoiseConfig(subsample=0.25).cohort_size(100) == 25
+        # Fraction rounding floors at 1 client.
+        assert NoiseConfig(subsample=0.001).cohort_size(100) == 1
+        # Counts above the pool clamp to the pool.
+        assert NoiseConfig(subsample=500).cohort_size(100) == 100
+
+
+class TestNoisyEvaluator:
+    def setup_method(self):
+        self.n = 50
+        self.weights = np.ones(self.n)
+        self.rates = np.linspace(0.2, 0.8, self.n)
+
+    def test_full_noiseless_is_exact(self, rng):
+        ev = NoisyEvaluator(self.weights, NoiseConfig(), rng)
+        out = ev.evaluate(self.rates)
+        assert out.error == pytest.approx(self.rates.mean())
+        assert out.cohort.size == self.n
+
+    def test_weighted_aggregation(self, rng):
+        weights = np.zeros(self.n)
+        weights[0] = 1.0
+        ev = NoisyEvaluator(weights + 1e-9, NoiseConfig(), rng)
+        out = ev.evaluate(self.rates)
+        assert out.error == pytest.approx(self.rates[0], abs=1e-4)
+
+    def test_subsample_cohort_size(self, rng):
+        ev = NoisyEvaluator(self.weights, NoiseConfig(subsample=5), rng)
+        out = ev.evaluate(self.rates)
+        assert out.cohort.size == 5
+
+    def test_subsampling_adds_variance(self):
+        full = [
+            NoisyEvaluator(self.weights, NoiseConfig(), np.random.default_rng(i))
+            .evaluate(self.rates)
+            .error
+            for i in range(50)
+        ]
+        sub = [
+            NoisyEvaluator(self.weights, NoiseConfig(subsample=2), np.random.default_rng(i))
+            .evaluate(self.rates)
+            .error
+            for i in range(50)
+        ]
+        assert np.std(full) == pytest.approx(0.0, abs=1e-12)
+        assert np.std(sub) > 0.01
+
+    def test_bias_shifts_error_down(self):
+        """Systems-heterogeneity bias prefers accurate (low-error) clients,
+        so the evaluated error is optimistically low."""
+        unbiased, biased = [], []
+        for i in range(200):
+            rng = np.random.default_rng(i)
+            ev_u = NoisyEvaluator(self.weights, NoiseConfig(subsample=3), rng)
+            unbiased.append(ev_u.evaluate(self.rates).error)
+            rng = np.random.default_rng(i)
+            ev_b = NoisyEvaluator(self.weights, NoiseConfig(subsample=3, bias_b=3.0), rng)
+            biased.append(ev_b.evaluate(self.rates).error)
+        assert np.mean(biased) < np.mean(unbiased) - 0.05
+
+    def test_dp_noise_applied(self):
+        rng = np.random.default_rng(0)
+        privacy = PrivacyConfig(epsilon=1.0, total_releases=16)
+        ev = NoisyEvaluator(
+            self.weights, NoiseConfig(subsample=1, epsilon=1.0, scheme="uniform"), rng, privacy
+        )
+        outs = [ev.evaluate(self.rates) for _ in range(20)]
+        # Noisy error differs from the exact subsampled error.
+        diffs = [abs(o.error - o.exact_subsampled_error) for o in outs]
+        assert max(diffs) > 0.1
+
+    def test_dp_noise_scale_depends_on_cohort(self):
+        def spread(n_clients):
+            rng = np.random.default_rng(0)
+            privacy = PrivacyConfig(epsilon=10.0, total_releases=16)
+            ev = NoisyEvaluator(
+                self.weights,
+                NoiseConfig(subsample=n_clients, epsilon=10.0, scheme="uniform"),
+                rng,
+                privacy,
+            )
+            return np.std([o.error - o.exact_subsampled_error for o in (ev.evaluate(self.rates) for _ in range(600))])
+
+        assert spread(1) > 5 * spread(25)
+
+    def test_epsilon_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NoisyEvaluator(
+                self.weights,
+                NoiseConfig(subsample=1, epsilon=1.0, scheme="uniform"),
+                rng,
+                PrivacyConfig(epsilon=2.0),
+            )
+
+    def test_shape_mismatch_rejected(self, rng):
+        ev = NoisyEvaluator(self.weights, NoiseConfig(), rng)
+        with pytest.raises(ValueError):
+            ev.evaluate(np.zeros(3))
+
+    def test_empty_weights_rejected(self, rng):
+        with pytest.raises(ValueError):
+            NoisyEvaluator(np.zeros(0), NoiseConfig(), rng)
+
+    def test_exact_error_tracks_subsample_not_dp(self):
+        rng = np.random.default_rng(0)
+        privacy = PrivacyConfig(epsilon=0.5, total_releases=4)
+        ev = NoisyEvaluator(
+            self.weights, NoiseConfig(subsample=10, epsilon=0.5, scheme="uniform"), rng, privacy
+        )
+        out = ev.evaluate(self.rates)
+        manual = self.rates[out.cohort].mean()
+        assert out.exact_subsampled_error == pytest.approx(manual)

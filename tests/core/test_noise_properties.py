@@ -1,0 +1,71 @@
+"""Property-based tests (hypothesis) on the evaluation-noise stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NoiseConfig, NoisyEvaluator
+
+rates_strategy = st.lists(st.floats(0.0, 1.0), min_size=2, max_size=30)
+
+
+class TestNoiseStackProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rates=rates_strategy, seed=st.integers(0, 10_000))
+    def test_noiseless_full_eval_is_exact_weighted_mean(self, rates, seed):
+        rates = np.array(rates)
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.5, 10.0, size=rates.size)
+        ev = NoisyEvaluator(weights, NoiseConfig(), rng)
+        out = ev.evaluate(rates)
+        assert out.error == pytest.approx(float(np.average(rates, weights=weights)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=rates_strategy,
+        seed=st.integers(0, 10_000),
+        count=st.integers(1, 30),
+        b=st.floats(0.0, 4.0),
+    )
+    def test_subsampled_error_within_observed_range(self, rates, seed, count, b):
+        """Without DP, any cohort's aggregate lies inside [min, max] of the
+        per-client rates — subsampling and bias can never extrapolate."""
+        rates = np.array(rates)
+        count = min(count, rates.size)
+        rng = np.random.default_rng(seed)
+        ev = NoisyEvaluator(
+            np.ones(rates.size), NoiseConfig(subsample=count, bias_b=b), rng
+        )
+        out = ev.evaluate(rates)
+        assert rates.min() - 1e-12 <= out.error <= rates.max() + 1e-12
+        assert out.cohort.size == count
+
+    @settings(max_examples=40, deadline=None)
+    @given(rates=rates_strategy, seed=st.integers(0, 10_000), count=st.integers(1, 30))
+    def test_exact_error_always_matches_cohort(self, rates, seed, count):
+        rates = np.array(rates)
+        count = min(count, rates.size)
+        rng = np.random.default_rng(seed)
+        ev = NoisyEvaluator(
+            np.ones(rates.size),
+            NoiseConfig(subsample=count, epsilon=1.0, scheme="uniform"),
+            rng,
+        )
+        out = ev.evaluate(rates)
+        assert out.exact_subsampled_error == pytest.approx(float(rates[out.cohort].mean()))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), eps=st.floats(0.1, 100.0))
+    def test_dp_noise_centred_on_exact(self, seed, eps):
+        """Laplace noise is symmetric: across many draws the mean released
+        error approaches the exact subsampled error."""
+        rng = np.random.default_rng(seed)
+        rates = np.full(5, 0.4)
+        ev = NoisyEvaluator(
+            np.ones(5), NoiseConfig(subsample=5, epsilon=eps, scheme="uniform"), rng
+        )
+        draws = np.array([ev.evaluate(rates).error for _ in range(400)])
+        scale = 1.0 / (eps * 5)
+        tolerance = 5 * scale * np.sqrt(2) / np.sqrt(400) + 1e-6
+        assert abs(draws.mean() - 0.4) < max(tolerance, 0.05)

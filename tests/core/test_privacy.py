@@ -1,0 +1,137 @@
+"""Tests for DP mechanisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PrivacyConfig,
+    laplace_noise,
+    oneshot_laplace_topk,
+    oneshot_topk_scale,
+    value_release_scale,
+)
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_exact(self, rng):
+        assert laplace_noise(0.0, rng) == 0.0
+        assert np.all(laplace_noise(0.0, rng, size=5) == 0)
+
+    def test_negative_scale_rejected(self, rng):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0, rng)
+
+    def test_empirical_scale(self):
+        rng = np.random.default_rng(0)
+        draws = laplace_noise(2.0, rng, size=20000)
+        # Laplace(b): std = b * sqrt(2).
+        assert draws.std() == pytest.approx(2.0 * np.sqrt(2), rel=0.05)
+        assert abs(draws.mean()) < 0.1
+
+
+class TestScales:
+    def test_value_release_formula(self):
+        # Lap(M / (eps * |S|)).
+        assert value_release_scale(epsilon=2.0, cohort_size=10, total_releases=16) == pytest.approx(
+            16 / (2.0 * 10)
+        )
+
+    def test_more_releases_more_noise(self):
+        a = value_release_scale(1.0, 10, 16)
+        b = value_release_scale(1.0, 10, 160)
+        assert b == pytest.approx(10 * a)
+
+    def test_more_clients_less_noise(self):
+        a = value_release_scale(1.0, 1, 16)
+        b = value_release_scale(1.0, 100, 16)
+        assert b == pytest.approx(a / 100)
+
+    def test_oneshot_formula(self):
+        # Lap(2 T k / (eps |S|)).
+        assert oneshot_topk_scale(epsilon=1.0, cohort_size=5, total_rounds=3, k=2) == pytest.approx(
+            2 * 3 * 2 / (1.0 * 5)
+        )
+
+    @pytest.mark.parametrize("fn", [value_release_scale, lambda e, c, t: oneshot_topk_scale(e, c, t, 1)])
+    def test_reject_invalid(self, fn):
+        with pytest.raises(ValueError):
+            fn(0.0, 10, 1)
+        with pytest.raises(ValueError):
+            fn(1.0, 0, 1)
+        with pytest.raises(ValueError):
+            fn(1.0, 10, 0)
+
+
+class TestOneShotTopK:
+    def test_zero_noise_is_exact_topk(self, rng):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        out = oneshot_laplace_topk(scores, 2, scale=0.0, rng=rng)
+        assert set(out.tolist()) == {1, 3}
+        assert out[0] == 1  # sorted best-first
+
+    def test_high_noise_randomises(self):
+        rng = np.random.default_rng(0)
+        scores = np.array([0.0, 0.0, 0.0, 1.0])
+        picks = [oneshot_laplace_topk(scores, 1, scale=50.0, rng=rng)[0] for _ in range(400)]
+        # With overwhelming noise the best config wins ~ uniformly often.
+        frac_best = np.mean(np.array(picks) == 3)
+        assert frac_best < 0.5
+
+    def test_low_noise_mostly_correct(self):
+        rng = np.random.default_rng(0)
+        scores = np.array([0.0, 0.0, 0.0, 1.0])
+        picks = [oneshot_laplace_topk(scores, 1, scale=0.05, rng=rng)[0] for _ in range(200)]
+        assert np.mean(np.array(picks) == 3) > 0.95
+
+    def test_k_bounds(self, rng):
+        with pytest.raises(ValueError):
+            oneshot_laplace_topk(np.ones(3), 0, 1.0, rng)
+        with pytest.raises(ValueError):
+            oneshot_laplace_topk(np.ones(3), 4, 1.0, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 10), seed=st.integers(0, 999))
+    def test_returns_k_distinct_indices(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        k = rng.integers(1, n + 1)
+        out = oneshot_laplace_topk(scores, int(k), scale=1.0, rng=rng)
+        assert len(out) == k
+        assert len(set(out.tolist())) == k
+
+
+class TestPrivacyConfig:
+    def test_disabled_when_none_or_inf(self):
+        assert not PrivacyConfig(epsilon=None).enabled
+        assert not PrivacyConfig(epsilon=np.inf).enabled
+        assert PrivacyConfig(epsilon=1.0).enabled
+
+    def test_rejects_nonpositive_epsilon(self):
+        with pytest.raises(ValueError):
+            PrivacyConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            PrivacyConfig(epsilon=1.0, total_releases=0)
+
+    def test_noisy_accuracy_identity_when_disabled(self, rng):
+        cfg = PrivacyConfig(epsilon=None)
+        assert cfg.noisy_accuracy(0.7, 10, rng) == 0.7
+
+    def test_noisy_accuracy_perturbs_when_enabled(self, rng):
+        cfg = PrivacyConfig(epsilon=1.0, total_releases=16)
+        vals = [cfg.noisy_accuracy(0.7, 1, rng) for _ in range(10)]
+        assert len(set(vals)) == 10  # all distinct draws
+
+    def test_with_releases(self):
+        cfg = PrivacyConfig(epsilon=1.0).with_releases(42)
+        assert cfg.total_releases == 42
+        assert cfg.epsilon == 1.0
+
+    def test_noise_magnitude_scales_correctly(self):
+        # Empirical: std of released value should be ~ scale * sqrt(2).
+        rng = np.random.default_rng(0)
+        cfg = PrivacyConfig(epsilon=1.0, total_releases=10)
+        vals = np.array([cfg.noisy_accuracy(0.5, 5, rng) for _ in range(20000)])
+        expected_scale = 10 / (1.0 * 5)
+        assert vals.std() == pytest.approx(expected_scale * np.sqrt(2), rel=0.05)

@@ -1,0 +1,75 @@
+"""Tests for one-shot proxy search."""
+
+import numpy as np
+import pytest
+
+from repro.core import NoiseConfig, OneShotProxySearch, SyntheticRunner, paper_space
+from repro.core.synthetic import default_quality
+
+SPACE = paper_space()
+
+
+def shifted_quality(shift):
+    """A quality surface whose optimum is moved in log-lr space by
+    ``shift`` — simulates proxy/target task mismatch."""
+
+    def quality(config):
+        moved = dict(config)
+        moved["server_lr"] = config["server_lr"] * 10.0 ** (-shift)
+        moved["client_lr"] = config["client_lr"] * 10.0 ** (-shift)
+        return default_quality(moved)
+
+    return quality
+
+
+class TestOneShotProxySearch:
+    def make(self, shift=0.0, n_configs=8, seed=0, **kwargs):
+        proxy = SyntheticRunner(max_rounds=27, quality_fn=shifted_quality(shift), seed=0)
+        target = SyntheticRunner(max_rounds=27, seed=1)
+        return OneShotProxySearch(SPACE, proxy, target, n_configs=n_configs, seed=seed, **kwargs)
+
+    def test_rejects_bad_n_configs(self):
+        with pytest.raises(ValueError):
+            self.make(n_configs=0)
+
+    def test_matched_proxy_finds_good_config(self):
+        result = self.make(shift=0.0).run()
+        assert result.final_full_error < 0.45
+
+    def test_mismatched_proxy_worse_in_median(self):
+        matched = np.median([self.make(0.0, seed=s).run().final_full_error for s in range(8)])
+        mismatched = np.median([self.make(4.0, seed=s).run().final_full_error for s in range(8)])
+        assert mismatched >= matched - 0.02
+
+    def test_target_budget_is_single_config(self):
+        proxy_search = self.make()
+        result = proxy_search.run()
+        assert result.rounds_used == 27  # one config's worth, not 8x
+
+    def test_curve_is_monotone_in_budget(self):
+        result = self.make().run()
+        budgets = [p.budget_used for p in result.curve]
+        assert budgets == sorted(budgets)
+        assert budgets[-1] == 27
+
+    def test_proxy_result_retained(self):
+        search = self.make()
+        result = search.run()
+        assert search.proxy_result is not None
+        assert search.proxy_result.best_config is not None
+        # The target run used the proxy-chosen config.
+        for key in ("server_lr", "client_lr"):
+            assert result.best_config[key] == search.proxy_result.best_config[key]
+
+    def test_checkpoint_every_controls_curve_density(self):
+        dense = self.make(checkpoint_every=1).run()
+        sparse = self.make(checkpoint_every=27).run()
+        assert len(dense.curve) == 27
+        assert len(sparse.curve) == 1
+
+    def test_noise_immune_by_construction(self):
+        """The proxy pipeline contains no noisy evaluator: identical results
+        regardless of any noise configured elsewhere."""
+        r1 = self.make(seed=3).run()
+        r2 = self.make(seed=3).run()
+        assert r1.final_full_error == r2.final_full_error

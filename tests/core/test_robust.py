@@ -1,0 +1,99 @@
+"""Tests for the noise-aware tuning variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    NoiseConfig,
+    RandomSearch,
+    ResampledRandomSearch,
+    SyntheticRunner,
+    TwoStageRandomSearch,
+    paper_space,
+)
+
+SPACE = paper_space()
+SUBSAMPLE_NOISE = NoiseConfig(subsample=1)
+DP_NOISE = NoiseConfig(subsample=1, epsilon=2.0, scheme="uniform")
+
+
+def run(cls, seed, noise=SUBSAMPLE_NOISE, heterogeneity=0.15, **kwargs):
+    runner = SyntheticRunner(n_clients=20, max_rounds=27, heterogeneity=heterogeneity, seed=0)
+    return cls(SPACE, runner, noise, n_configs=12, seed=seed, **kwargs).run()
+
+
+class TestResampledRandomSearch:
+    def test_validation(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        with pytest.raises(ValueError):
+            ResampledRandomSearch(SPACE, runner, n_resamples=0)
+        with pytest.raises(ValueError):
+            ResampledRandomSearch(SPACE, runner, aggregate="mode")
+
+    def test_planned_releases_accounts_resamples(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        tuner = ResampledRandomSearch(SPACE, runner, n_configs=8, n_resamples=5)
+        assert tuner.planned_releases() == 40
+
+    def test_one_resample_matches_rs_structure(self):
+        result = run(ResampledRandomSearch, seed=0, n_resamples=1)
+        assert len(result.observations) == 12
+
+    def test_resampling_reduces_subsampling_selection_error(self):
+        """With pure subsampling noise, averaging 5 cohorts beats 1 in the
+        median over seeds."""
+        seeds = range(12)
+        plain = np.median([run(RandomSearch, s).final_full_error for s in seeds])
+        resampled = np.median(
+            [run(ResampledRandomSearch, s, n_resamples=5).final_full_error for s in seeds]
+        )
+        assert resampled <= plain + 0.02
+
+    def test_resampling_backfires_under_tight_dp(self):
+        """Under DP the extra releases dilute the budget faster than
+        averaging recovers: resampling must NOT dramatically beat plain RS,
+        and its per-release noise scale is provably larger."""
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        plain = RandomSearch(SPACE, runner, DP_NOISE, n_configs=12, seed=0)
+        resampled = ResampledRandomSearch(
+            SPACE, SyntheticRunner(max_rounds=27, seed=0), DP_NOISE, n_configs=12, n_resamples=5, seed=0
+        )
+        assert resampled.evaluator.privacy.total_releases == 5 * plain.evaluator.privacy.total_releases
+
+    def test_median_aggregation(self):
+        result = run(ResampledRandomSearch, seed=0, n_resamples=3, aggregate="median")
+        assert result.best_config is not None
+
+
+class TestTwoStageRandomSearch:
+    def test_validation(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        with pytest.raises(ValueError):
+            TwoStageRandomSearch(SPACE, runner, n_finalists=0)
+
+    def test_planned_releases(self):
+        runner = SyntheticRunner(max_rounds=27, seed=0)
+        tuner = TwoStageRandomSearch(SPACE, runner, n_configs=10, n_finalists=3)
+        assert tuner.planned_releases() == 13
+
+    def test_observation_count_includes_stage2(self):
+        result = run(TwoStageRandomSearch, seed=0, n_finalists=3)
+        assert len(result.observations) == 12 + 3
+
+    def test_winner_is_a_finalist(self):
+        result = run(TwoStageRandomSearch, seed=0, n_finalists=3)
+        stage2 = result.observations[-3:]
+        assert result.best_trial_id in {o.trial_id for o in stage2}
+
+    def test_improves_or_matches_rs_under_subsampling(self):
+        seeds = range(12)
+        plain = np.median([run(RandomSearch, s).final_full_error for s in seeds])
+        two_stage = np.median(
+            [run(TwoStageRandomSearch, s, n_finalists=4).final_full_error for s in seeds]
+        )
+        assert two_stage <= plain + 0.03
+
+    def test_budget_unchanged(self):
+        result = run(TwoStageRandomSearch, seed=0, n_finalists=4)
+        # Re-evaluation costs no extra training rounds.
+        assert result.rounds_used <= 12 * 27

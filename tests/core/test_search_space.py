@@ -1,0 +1,189 @@
+"""Tests for hyperparameter spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Choice,
+    Constant,
+    LogUniform,
+    SearchSpace,
+    Uniform,
+    nested_server_lr_space,
+    paper_space,
+)
+
+
+class TestUniform:
+    def test_sample_in_range(self, rng):
+        p = Uniform("x", -1.0, 2.0)
+        vals = [p.sample(rng) for _ in range(100)]
+        assert all(-1.0 <= v <= 2.0 for v in vals)
+
+    def test_unit_roundtrip(self):
+        p = Uniform("x", 2.0, 6.0)
+        assert p.from_unit(p.to_unit(3.0)) == pytest.approx(3.0)
+        assert p.to_unit(2.0) == 0.0
+        assert p.to_unit(6.0) == 1.0
+
+    def test_from_unit_clips(self):
+        p = Uniform("x", 0.0, 1.0)
+        assert p.from_unit(-0.5) == 0.0
+        assert p.from_unit(1.5) == 1.0
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Uniform("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Uniform("", 0.0, 1.0)
+
+
+class TestLogUniform:
+    def test_sample_log_uniform(self):
+        rng = np.random.default_rng(0)
+        p = LogUniform("lr", 1e-6, 1e-1)
+        vals = np.array([p.sample(rng) for _ in range(2000)])
+        logs = np.log10(vals)
+        # Uniform in log space: mean log ~ -3.5.
+        assert logs.mean() == pytest.approx(-3.5, abs=0.15)
+        assert vals.min() >= 1e-6 and vals.max() <= 1e-1
+
+    def test_unit_roundtrip(self):
+        p = LogUniform("lr", 1e-4, 1e-2)
+        assert p.from_unit(p.to_unit(1e-3)) == pytest.approx(1e-3)
+        assert p.to_unit(1e-4) == pytest.approx(0.0)
+        assert p.to_unit(1e-2) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LogUniform("lr", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            LogUniform("lr", 1.0, 0.1)
+
+
+class TestChoice:
+    def test_sample_from_options(self, rng):
+        p = Choice("bs", [32, 64, 128])
+        assert all(p.sample(rng) in [32, 64, 128] for _ in range(20))
+
+    def test_unit_roundtrip_all_options(self):
+        p = Choice("bs", [32, 64, 128])
+        for opt in p.options:
+            assert p.from_unit(p.to_unit(opt)) == opt
+
+    def test_from_unit_boundary(self):
+        p = Choice("bs", [1, 2])
+        assert p.from_unit(0.0) == 1
+        assert p.from_unit(1.0) == 2  # clipped below 1.0
+
+    def test_not_numeric(self):
+        assert not Choice("bs", [1]).is_numeric
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Choice("bs", [])
+
+
+class TestConstant:
+    def test_sample_returns_value(self, rng):
+        assert Constant("e", 1).sample(rng) == 1
+
+    def test_from_unit_ignores_u(self):
+        assert Constant("e", 7).from_unit(0.3) == 7
+
+
+class TestSearchSpace:
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SearchSpace([Uniform("x", 0, 1), Uniform("x", 0, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SearchSpace([])
+
+    def test_sample_has_all_keys(self, rng):
+        space = paper_space()
+        cfg = space.sample(rng)
+        assert set(cfg) == set(space.names)
+
+    def test_validate(self, rng):
+        space = paper_space()
+        cfg = space.sample(rng)
+        space.validate(cfg)
+        with pytest.raises(ValueError):
+            space.validate({k: v for k, v in cfg.items() if k != "server_lr"})
+        bad = dict(cfg)
+        bad["rogue"] = 1
+        with pytest.raises(ValueError):
+            space.validate(bad)
+
+    def test_searched_excludes_constants(self):
+        space = paper_space()
+        names = [p.name for p in space.searched]
+        assert "server_lr_decay" not in names
+        assert "epochs" not in names
+        assert "server_lr" in names
+
+    def test_unit_vector_roundtrip(self, rng):
+        space = paper_space()
+        cfg = space.sample(rng)
+        u = space.to_unit_vector(cfg)
+        assert np.all((u >= 0) & (u <= 1))
+        cfg2 = space.from_unit_vector(u)
+        for key in cfg:
+            if isinstance(cfg[key], float):
+                assert cfg2[key] == pytest.approx(cfg[key], rel=1e-9)
+            else:
+                assert cfg2[key] == cfg[key]
+
+    def test_from_unit_vector_wrong_len(self):
+        space = paper_space()
+        with pytest.raises(ValueError):
+            space.from_unit_vector(np.zeros(2))
+
+    def test_contains_getitem(self):
+        space = paper_space()
+        assert "server_lr" in space
+        assert space["batch_size"].options == [32, 64, 128]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1))
+    def test_samples_always_valid(self, seed):
+        space = paper_space()
+        cfg = space.sample(np.random.default_rng(seed))
+        space.validate(cfg)
+        assert 1e-6 <= cfg["server_lr"] <= 1e-1
+        assert 0.0 <= cfg["server_beta1"] <= 0.9
+        assert 0.0 <= cfg["server_beta2"] <= 0.999
+        assert 1e-6 <= cfg["client_lr"] <= 1.0
+        assert cfg["batch_size"] in (32, 64, 128)
+        assert cfg["epochs"] == 1
+        assert cfg["server_lr_decay"] == 0.9999
+
+
+class TestPaperSpace:
+    def test_defaults_match_appendix_b(self):
+        space = paper_space()
+        assert space["server_lr"].low == pytest.approx(1e-6)
+        assert space["server_lr"].high == pytest.approx(1e-1)
+        assert space["client_lr"].high == pytest.approx(1.0)
+        assert space["client_weight_decay"].value == pytest.approx(5e-5)
+
+    def test_custom_batch_sizes(self):
+        space = paper_space(batch_sizes=(4, 8))
+        assert space["batch_size"].options == [4, 8]
+
+    def test_nested_server_lr_space_widths(self):
+        for span in (1, 2, 3, 4):
+            space = nested_server_lr_space(span)
+            p = space["server_lr"]
+            width = np.log10(p.high) - np.log10(p.low)
+            assert width == pytest.approx(span)
+            # Centred on 1e-3.
+            assert np.log10(p.high) + np.log10(p.low) == pytest.approx(-6.0)
+
+    def test_nested_rejects_bad_span(self):
+        with pytest.raises(ValueError):
+            nested_server_lr_space(0)

@@ -1,0 +1,150 @@
+"""Tests for the four dataset generators and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    MarkovSource,
+    dataset_statistics,
+    get_scale,
+    load_dataset,
+    make_cifar10_like,
+    make_reddit_like,
+)
+from repro.datasets.text import _random_transition
+
+
+class TestMarkovSource:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MarkovSource(np.ones((2, 3)) / 3)
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            MarkovSource(np.ones((3, 3)))
+
+    def test_rejects_negative(self):
+        t = np.array([[1.5, -0.5], [0.5, 0.5]])
+        with pytest.raises(ValueError):
+            MarkovSource(t)
+
+    def test_rejects_bad_initial(self):
+        t = np.eye(3)
+        with pytest.raises(ValueError):
+            MarkovSource(t, initial=np.array([0.5, 0.5]))
+
+    def test_sample_shape_and_range(self, rng):
+        t = _random_transition(10, rng)
+        src = MarkovSource(t)
+        seqs = src.sample(7, 12, rng)
+        assert seqs.shape == (7, 12)
+        assert seqs.min() >= 0 and seqs.max() < 10
+
+    def test_rejects_short_sequences(self, rng):
+        src = MarkovSource(np.eye(3))
+        with pytest.raises(ValueError):
+            src.sample(1, 1, rng)
+
+    def test_deterministic_chain_follows_transitions(self, rng):
+        # Cyclic permutation matrix: token i -> (i+1) % V deterministically.
+        v = 5
+        t = np.roll(np.eye(v), 1, axis=1)
+        src = MarkovSource(t)
+        seqs = src.sample(4, 10, rng)
+        diffs = (seqs[:, 1:] - seqs[:, :-1]) % v
+        assert np.all(diffs == 1)
+
+    def test_empirical_matches_transition(self):
+        # Long chain's empirical bigram frequencies approach the matrix.
+        rng = np.random.default_rng(0)
+        t = np.array([[0.9, 0.1], [0.2, 0.8]])
+        src = MarkovSource(t)
+        seq = src.sample(1, 20000, rng)[0]
+        from_0 = seq[1:][seq[:-1] == 0]
+        assert np.isclose((from_0 == 0).mean(), 0.9, atol=0.02)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_loads_and_has_shape(self, name):
+        ds = load_dataset(name, "test", seed=0)
+        scale = get_scale("test")
+        n_train, n_eval, _ = scale.clients[name]
+        assert ds.num_train_clients == n_train
+        assert ds.num_eval_clients == n_eval
+        assert ds.name == name
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_given_seed(self, name):
+        a = load_dataset(name, "test", seed=3)
+        b = load_dataset(name, "test", seed=3)
+        assert np.array_equal(a.train_clients[0].x, b.train_clients[0].x)
+        assert np.array_equal(a.eval_clients[-1].y, b.eval_clients[-1].y)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_different_seeds_differ(self, name):
+        a = load_dataset(name, "test", seed=0)
+        b = load_dataset(name, "test", seed=1)
+        assert not np.array_equal(a.train_clients[0].x, b.train_clients[0].x)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_model_trains_one_step(self, name):
+        """The dataset's model factory must be compatible with its data."""
+        ds = load_dataset(name, "test", seed=0)
+        model = ds.task.build_model(0)
+        client = ds.train_clients[0]
+        logits = model(client.x)
+        loss, dlogits = ds.task.loss_fn(logits, client.y)
+        assert np.isfinite(loss)
+        model.zero_grad()
+        model.backward(dlogits)
+        n_err, n_tot = ds.task.error_fn(logits, client.y)
+        assert 0 <= n_err <= n_tot
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            load_dataset("mnist", "test")
+        with pytest.raises(ValueError):
+            load_dataset("cifar10", "huge")
+
+    def test_cifar_label_skew(self):
+        """Dirichlet(0.1) must concentrate labels: most clients dominated
+        by few classes (the paper's CIFAR10 heterogeneity)."""
+        ds = make_cifar10_like(n_train_clients=20, n_eval_clients=10, mean_examples=30, seed=0)
+        dominances = []
+        for c in ds.train_clients:
+            counts = np.bincount(c.y, minlength=10)
+            dominances.append(counts.max() / counts.sum())
+        assert np.median(dominances) > 0.5
+
+    def test_reddit_has_tiny_clients(self):
+        ds = make_reddit_like(n_train_clients=40, n_eval_clients=20, seed=0)
+        sizes = [c.n for c in ds.train_clients]
+        assert min(sizes) == 1
+
+    def test_reddit_heterogeneity_exceeds_stackoverflow(self):
+        so = load_dataset("stackoverflow", "test", 0)
+        rd = load_dataset("reddit", "test", 0)
+        assert rd.metadata["heterogeneity"] > so.metadata["heterogeneity"]
+
+    def test_statistics_record(self):
+        ds = load_dataset("femnist", "test", 0)
+        stats = dataset_statistics(ds)
+        assert stats.dataset == "femnist"
+        assert stats.min_examples >= 1
+        assert stats.total_examples > 0
+        assert stats.train_clients == 24
+
+    def test_scale_budget_ratio(self):
+        """Every preset keeps the paper's 16-config budget arithmetic."""
+        for preset in ("test", "small", "paper"):
+            scale = get_scale(preset)
+            assert scale.total_budget_rounds == 16 * scale.max_rounds_per_config
+
+    def test_femnist_writer_styles_differ(self):
+        """FEMNIST-like covariate shift: per-client pixel means vary more
+        across clients than within."""
+        ds = load_dataset("femnist", "test", 0)
+        client_means = np.array([c.x.mean() for c in ds.train_clients])
+        assert client_means.std() > 0.05

@@ -1,0 +1,43 @@
+"""Tests for image-generator internals."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.images import _class_prototypes, _sample_images
+
+
+class TestClassPrototypes:
+    def test_shape(self, rng):
+        protos = _class_prototypes(10, 3, 8, rng)
+        assert protos.shape == (10, 3, 8, 8)
+
+    def test_rejects_non_divisible(self, rng):
+        with pytest.raises(ValueError):
+            _class_prototypes(10, 3, 9, rng, coarse=4)
+
+    def test_prototypes_are_blocky(self, rng):
+        """kron upsampling yields constant 2x2 blocks at scale hw/coarse=2."""
+        protos = _class_prototypes(2, 1, 8, rng, coarse=4)
+        block = protos[0, 0, :2, :2]
+        assert np.all(block == block[0, 0])
+
+    def test_classes_distinct(self, rng):
+        protos = _class_prototypes(5, 1, 8, rng)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert not np.allclose(protos[i], protos[j])
+
+
+class TestSampleImages:
+    def test_centred_on_prototype(self, rng):
+        protos = _class_prototypes(3, 1, 8, rng)
+        labels = np.zeros(500, dtype=int)
+        x = _sample_images(protos, labels, noise=0.5, rng=rng)
+        assert np.allclose(x.mean(axis=0), protos[0], atol=0.15)
+
+    def test_noise_controls_spread(self, rng):
+        protos = _class_prototypes(2, 1, 8, rng)
+        labels = np.zeros(200, dtype=int)
+        tight = _sample_images(protos, labels, noise=0.1, rng=np.random.default_rng(0))
+        loose = _sample_images(protos, labels, noise=2.0, rng=np.random.default_rng(0))
+        assert (loose - protos[0]).std() > (tight - protos[0]).std() * 5

@@ -1,0 +1,133 @@
+"""Tests for partitioners, including heterogeneity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import ClientData, dirichlet_partition, iid_repartition, power_law_sizes
+
+
+def label_entropy(labels, num_classes):
+    counts = np.bincount(labels, minlength=num_classes).astype(float)
+    p = counts / counts.sum()
+    p = p[p > 0]
+    return float(-(p * np.log(p)).sum())
+
+
+class TestDirichletPartition:
+    def test_partition_is_exact(self, rng):
+        labels = rng.integers(0, 10, size=200)
+        parts = dirichlet_partition(labels, 8, alpha=0.5, rng=rng)
+        all_idx = np.concatenate(parts)
+        assert sorted(all_idx) == list(range(200))
+
+    def test_min_per_client_enforced(self, rng):
+        labels = rng.integers(0, 10, size=200)
+        parts = dirichlet_partition(labels, 20, alpha=0.05, rng=rng, min_per_client=3)
+        assert min(len(p) for p in parts) >= 3
+
+    def test_small_alpha_more_skewed_than_large(self, rng):
+        """Core heterogeneity property: α=0.1 gives lower per-client label
+        entropy (clients dominated by few labels) than α=100."""
+        labels = np.tile(np.arange(10), 100)
+        skewed = dirichlet_partition(labels, 10, alpha=0.1, rng=np.random.default_rng(0))
+        uniform = dirichlet_partition(labels, 10, alpha=100.0, rng=np.random.default_rng(0))
+        ent_skewed = np.mean([label_entropy(labels[p], 10) for p in skewed])
+        ent_uniform = np.mean([label_entropy(labels[p], 10) for p in uniform])
+        assert ent_skewed < ent_uniform * 0.8
+
+    def test_errors(self, rng):
+        labels = rng.integers(0, 3, size=10)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 0, alpha=1.0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 2, alpha=0.0)
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels, 20, alpha=1.0)  # too few examples
+        with pytest.raises(ValueError):
+            dirichlet_partition(labels.reshape(2, 5), 2, alpha=1.0)
+
+    def test_deterministic(self):
+        labels = np.tile(np.arange(5), 20)
+        p1 = dirichlet_partition(labels, 5, 0.3, np.random.default_rng(9))
+        p2 = dirichlet_partition(labels, 5, 0.3, np.random.default_rng(9))
+        for a, b in zip(p1, p2):
+            assert np.array_equal(a, b)
+
+
+class TestIidRepartition:
+    def make_skewed_clients(self, rng, n_clients=10, per_client=30, num_classes=5):
+        # Each client holds exactly one class: maximal heterogeneity.
+        clients = []
+        for k in range(n_clients):
+            label = k % num_classes
+            x = rng.normal(loc=label, size=(per_client, 3))
+            y = np.full(per_client, label)
+            clients.append(ClientData(x, y))
+        return clients
+
+    def test_p_zero_is_identity(self, rng):
+        clients = self.make_skewed_clients(rng)
+        assert iid_repartition(clients, 0.0, rng) == clients
+
+    def test_sizes_preserved(self, rng):
+        clients = self.make_skewed_clients(rng)
+        out = iid_repartition(clients, 1.0, rng)
+        assert [c.n for c in out] == [c.n for c in clients]
+
+    def test_p_one_homogenises_labels(self, rng):
+        """After full repartition every client sees (roughly) all classes."""
+        clients = self.make_skewed_clients(rng)
+        out = iid_repartition(clients, 1.0, rng)
+        ent_before = np.mean([label_entropy(c.y, 5) for c in clients])
+        ent_after = np.mean([label_entropy(c.y, 5) for c in out])
+        assert ent_before == pytest.approx(0.0)
+        assert ent_after > 1.0
+
+    def test_intermediate_p_partial(self, rng):
+        clients = self.make_skewed_clients(rng)
+        half = iid_repartition(clients, 0.5, np.random.default_rng(0))
+        full = iid_repartition(clients, 1.0, np.random.default_rng(0))
+        ent_half = np.mean([label_entropy(c.y, 5) for c in half])
+        ent_full = np.mean([label_entropy(c.y, 5) for c in full])
+        assert 0.0 < ent_half < ent_full
+
+    def test_rejects_bad_p(self, rng):
+        clients = self.make_skewed_clients(rng)
+        with pytest.raises(ValueError):
+            iid_repartition(clients, -0.1, rng)
+        with pytest.raises(ValueError):
+            iid_repartition(clients, 1.1, rng)
+        with pytest.raises(ValueError):
+            iid_repartition([], 0.5, rng)
+
+    @settings(max_examples=15, deadline=None)
+    @given(p=st.floats(0.0, 1.0), seed=st.integers(0, 1000))
+    def test_total_examples_invariant(self, p, seed):
+        rng = np.random.default_rng(seed)
+        clients = self.make_skewed_clients(rng)
+        out = iid_repartition(clients, p, rng)
+        assert sum(c.n for c in out) == sum(c.n for c in clients)
+
+
+class TestPowerLawSizes:
+    def test_mean_approximate(self, rng):
+        sizes = power_law_sizes(2000, 20, rng)
+        assert 10 < sizes.mean() < 40
+
+    def test_min_enforced(self, rng):
+        sizes = power_law_sizes(500, 5, rng, min_size=1)
+        assert sizes.min() >= 1
+
+    def test_heavy_tail(self, rng):
+        """A heavy-tail law must produce both tiny and huge clients."""
+        sizes = power_law_sizes(2000, 19, rng, shape=1.1)
+        assert sizes.min() <= 3
+        assert sizes.max() > 10 * sizes.mean()
+
+    def test_errors(self, rng):
+        with pytest.raises(ValueError):
+            power_law_sizes(0, 10, rng)
+        with pytest.raises(ValueError):
+            power_law_sizes(10, 0, rng, min_size=1)

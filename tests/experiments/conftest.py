@@ -1,0 +1,12 @@
+"""Shared experiment fixtures: one small context with cached banks."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """A test-scale context shared by all experiment tests (banks build
+    once per session)."""
+    return ExperimentContext(preset="test", seed=0, n_bank_configs=16)

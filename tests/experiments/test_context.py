@@ -1,0 +1,59 @@
+"""Tests for the experiment context."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import BATCH_CHOICES, ExperimentContext, subsample_grid
+
+
+class TestSubsampleGrid:
+    def test_powers_of_three(self):
+        assert subsample_grid(100) == [1, 3, 9, 27, 81, 100]
+        assert subsample_grid(10) == [1, 3, 9, 10]
+
+    def test_single_client_pool(self):
+        assert subsample_grid(1) == [1]
+
+    def test_exact_power(self):
+        assert subsample_grid(9) == [1, 3, 9]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            subsample_grid(0)
+
+
+class TestExperimentContext:
+    def test_scale_properties(self, ctx):
+        assert ctx.max_rounds == 9
+        assert ctx.total_budget == 16 * 9
+
+    def test_space_uses_scaled_batches(self, ctx):
+        assert tuple(ctx.space["batch_size"].options) == BATCH_CHOICES["test"]
+
+    def test_shared_configs_fixed(self, ctx):
+        assert len(ctx.shared_configs) == 16
+        ctx2 = ExperimentContext(preset="test", seed=0, n_bank_configs=16)
+        assert ctx2.shared_configs[0]["server_lr"] == ctx.shared_configs[0]["server_lr"]
+
+    def test_different_seed_different_configs(self, ctx):
+        other = ExperimentContext(preset="test", seed=1, n_bank_configs=16)
+        assert other.shared_configs[0]["server_lr"] != ctx.shared_configs[0]["server_lr"]
+
+    def test_dataset_cached(self, ctx):
+        assert ctx.dataset("cifar10") is ctx.dataset("cifar10")
+
+    def test_bank_cached_and_shares_configs(self, ctx):
+        bank_a = ctx.bank("cifar10")
+        bank_b = ctx.bank("femnist")
+        assert ctx.bank("cifar10") is bank_a
+        for ca, cb in zip(bank_a.configs, bank_b.configs):
+            assert ca["server_lr"] == cb["server_lr"]
+
+    def test_param_bank_upgrades_cache(self, ctx):
+        with_params = ctx.bank("cifar10", store_params=True)
+        assert with_params.params is not None
+        # Subsequent param-less requests reuse the param-storing bank.
+        assert ctx.bank("cifar10") is with_params
+
+    def test_grid(self, ctx):
+        assert ctx.grid("cifar10") == [1, 3, 9, 10]

@@ -1,0 +1,32 @@
+"""Unit test for the Figure-1 headline driver (scaled to one method)."""
+
+import pytest
+
+from repro.experiments import run_figure1, run_method_comparison
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def records(self, ctx):
+        comparison = run_method_comparison(
+            ctx, dataset_names=("cifar10",), methods=("rs",), n_trials=1, budget_points=4
+        )
+        return run_figure1(
+            ctx,
+            dataset_name="cifar10",
+            proxy_name="femnist",
+            methods=("rs",),
+            comparison=comparison,
+        )
+
+    def test_proxy_bars_identical_across_settings(self, records):
+        proxy = {r.setting: r.full_error for r in records if r.method == "rs_proxy"}
+        assert proxy["noiseless"] == pytest.approx(proxy["noisy"])
+
+    def test_all_bars_valid(self, records):
+        for r in records:
+            assert 0.0 <= r.full_error <= 1.0
+
+    def test_methods_present(self, records):
+        assert {r.method for r in records} == {"rs", "rs_proxy"}
+        assert {r.setting for r in records} == {"noiseless", "noisy"}

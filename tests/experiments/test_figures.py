@@ -1,0 +1,275 @@
+"""Tests for the figure drivers: record structure plus the paper's
+qualitative shapes (Appendix E.6) at unit-test scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    bars_at_budget,
+    curve_medians,
+    lucky_client_gap,
+    make_tuner,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure9,
+    run_figure11,
+    run_figure12,
+    run_figure13,
+    run_method_comparison,
+    run_table1,
+    run_table2,
+    print_table1,
+    print_table2,
+    run_transfer_scatter,
+    transfer_correlation,
+)
+from repro.experiments.fig_methods import PAPER_NOISY
+
+
+def by(records, **filters):
+    out = [r for r in records if all(r.get(k) == v for k, v in filters.items())]
+    assert out, f"no records matching {filters}"
+    return out
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def records(self, ctx):
+        return run_figure3(ctx, dataset_names=("cifar10",), n_trials=30, k=8)
+
+    def test_record_structure(self, records):
+        for r in records:
+            assert 0 <= r.q25 <= r.median <= r.q75 <= 1
+
+    def test_full_eval_at_least_best_hps(self, records):
+        full = by(records, subsample_count=10)[0]
+        assert full.median >= full.best_hps - 1e-9
+
+    def test_subsampling_hurts(self, records):
+        """E.6 expectation 1: error trends down as clients increase."""
+        one = by(records, subsample_count=1)[0]
+        full = by(records, subsample_count=10)[0]
+        assert one.median >= full.median
+
+
+class TestFigure5:
+    def test_curves_decrease_with_budget(self, ctx):
+        records = run_figure5(ctx, dataset_names=("cifar10",), n_trials=20, k=8)
+        full = by(records, subsample_count=10)
+        medians = [r.median for r in sorted(full, key=lambda r: r.budget_rounds)]
+        assert medians[-1] <= medians[0] + 1e-9
+
+    def test_subsampled_curve_above_full(self, ctx):
+        """E.6 expectation 2: gap between 1-client and full curves."""
+        records = run_figure5(ctx, dataset_names=("cifar10",), n_trials=30, k=8)
+        last_budget = max(r.budget_rounds for r in records)
+        one = by(records, subsample_count=1, budget_rounds=last_budget)[0]
+        full = by(records, subsample_count=10, budget_rounds=last_budget)[0]
+        assert one.median >= full.median
+
+
+class TestFigure4:
+    def test_iid_no_worse_under_subsampling(self, ctx):
+        """E.6 expectation 3: non-iid (p=0) error >= iid (p=1) at low counts."""
+        records = run_figure4(
+            ctx, dataset_name="cifar10", p_levels=(0.0, 1.0), n_trials=30, k=8, counts=(1, 10)
+        )
+        noniid = by(records, iid_fraction=0.0, subsample_count=1)[0]
+        iid = by(records, iid_fraction=1.0, subsample_count=1)[0]
+        assert noniid.median >= iid.median - 0.02
+
+    def test_full_eval_insensitive_to_p(self, ctx):
+        records = run_figure4(
+            ctx, dataset_name="cifar10", p_levels=(0.0, 1.0), n_trials=20, k=8, counts=(10,)
+        )
+        noniid = by(records, iid_fraction=0.0)[0]
+        iid = by(records, iid_fraction=1.0)[0]
+        assert abs(noniid.median - iid.median) < 0.1
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def records(self, ctx):
+        return run_figure6(
+            ctx,
+            dataset_names=("cifar10",),
+            bias_levels=(0.0, 3.0),
+            n_trials=30,
+            k=8,
+            counts={"cifar10": (1, 3)},
+        )
+
+    def test_bias_hurts_cifar(self, records):
+        """E.6 expectation 4: larger b -> larger error on CIFAR10."""
+        unbiased = by(records, bias_b=0.0, subsample_count=1)[0]
+        biased = by(records, bias_b=3.0, subsample_count=1)[0]
+        assert biased.median >= unbiased.median - 0.02
+
+
+class TestFigure7:
+    def test_min_leq_full(self, ctx):
+        records = run_figure7(ctx, dataset_names=("cifar10", "stackoverflow"))
+        for r in records:
+            assert r.min_client_error <= r.full_error + 1e-9
+
+    def test_lucky_client_gap_larger_on_cifar(self, ctx):
+        """Figure 7's structure: label-skewed CIFAR10 has bad configs with
+        lucky clients; large-client StackOverflow is better behaved."""
+        records = run_figure7(ctx, dataset_names=("cifar10", "stackoverflow"))
+        assert lucky_client_gap(records, "cifar10") > lucky_client_gap(records, "stackoverflow")
+
+    def test_gap_requires_dataset(self, ctx):
+        with pytest.raises(ValueError):
+            lucky_client_gap([], "cifar10")
+
+
+class TestFigure9:
+    @pytest.fixture(scope="class")
+    def records(self, ctx):
+        return run_figure9(
+            ctx,
+            dataset_names=("cifar10",),
+            epsilons=(0.5, None),
+            n_trials=30,
+            k=8,
+            counts={"cifar10": (1, 10)},
+        )
+
+    def test_privacy_hurts_at_one_client(self, records):
+        """E.6 expectation 5: smaller epsilon -> larger error."""
+        private = by(records, epsilon=0.5, subsample_count=1)[0]
+        open_ = by(records, epsilon=float("inf"), subsample_count=1)[0]
+        assert private.median >= open_.median
+
+    def test_more_clients_recover_under_dp(self, records):
+        private_1 = by(records, epsilon=0.5, subsample_count=1)[0]
+        private_full = by(records, epsilon=0.5, subsample_count=10)[0]
+        assert private_full.median <= private_1.median + 0.02
+
+
+class TestTransferAndProxy:
+    def test_scatter_records(self, ctx):
+        records = run_transfer_scatter(ctx, pairs=(("cifar10", "femnist"),))
+        assert len(records) == ctx.n_bank_configs
+        rho = transfer_correlation(records, "cifar10/femnist")
+        assert -1.0 <= rho <= 1.0
+
+    def test_correlation_needs_points(self, ctx):
+        with pytest.raises(ValueError):
+            transfer_correlation([], "cifar10/femnist")
+
+    def test_figure11_matrix(self, ctx):
+        records = run_figure11(
+            ctx, dataset_names=("cifar10", "femnist"), n_trials=15, k=8
+        )
+        assert len(records) == 4  # 2x2 matrix
+        self_tuned = by(records, client="cifar10", proxy="cifar10")[0]
+        assert 0 <= self_tuned.median <= 1
+
+    def test_figure11_self_proxy_is_strong(self, ctx):
+        """Tuning on the client dataset itself (noiseless) must be at least
+        as good as the average cross proxy."""
+        records = run_figure11(
+            ctx, dataset_names=("cifar10", "reddit"), n_trials=20, k=8
+        )
+        self_tuned = by(records, client="cifar10", proxy="cifar10")[0]
+        cross = by(records, client="cifar10", proxy="reddit")[0]
+        assert self_tuned.median <= cross.median + 0.02
+
+    def test_figure12_structure(self, ctx):
+        records = run_figure12(
+            ctx,
+            client_name="cifar10",
+            proxy_names=("cifar10", "femnist"),
+            epsilons=(1.0, None),
+            n_trials=10,
+            k=8,
+        )
+        assert by(records, source="rs_noisy")
+        proxy_rows = by(records, source="proxy", proxy="femnist")
+        budgets = [r.budget_rounds for r in proxy_rows]
+        assert budgets == sorted(budgets)
+
+    def test_figure12_noisy_dp_worse_than_nonprivate(self, ctx):
+        records = run_figure12(
+            ctx,
+            client_name="cifar10",
+            proxy_names=("cifar10",),
+            epsilons=(0.5, None),
+            n_trials=25,
+            k=8,
+        )
+        last = max(r.budget_rounds for r in records if r.source == "rs_noisy")
+        dp = by(records, source="rs_noisy", epsilon=0.5, budget_rounds=last)[0]
+        open_ = by(records, source="rs_noisy", epsilon=float("inf"), budget_rounds=last)[0]
+        assert dp.median >= open_.median - 0.02
+
+
+class TestFigure13:
+    def test_runs_and_has_shape(self, ctx):
+        records = run_figure13(
+            ctx, dataset_name="cifar10", spans=(1.0, 4.0), n_configs=6, n_trials=8, k=6
+        )
+        assert len(records) == 2
+        for r in records:
+            assert 0 <= r.noiseless <= 1
+            assert 0 <= r.noisy_median <= 1
+            # Noisy selection can never beat the pool's best config.
+            assert r.noisy_median >= r.noiseless - 1e-9
+
+
+class TestMethodComparison:
+    @pytest.fixture(scope="class")
+    def records(self, ctx):
+        return run_method_comparison(
+            ctx, dataset_names=("cifar10",), methods=("rs", "hb"), n_trials=2, budget_points=4
+        )
+
+    def test_record_structure(self, records):
+        assert len(records) == 2 * 2 * 2  # settings x methods x trials
+        for r in records:
+            assert len(r.budgets) == len(r.full_errors) == 4
+
+    def test_curve_medians(self, records):
+        med = curve_medians(records, "cifar10", "rs", "noiseless")
+        assert med["budgets"].shape == med["median"].shape == (4,)
+        with pytest.raises(ValueError):
+            curve_medians(records, "cifar10", "tpe", "noiseless")
+
+    def test_bars_at_budget(self, records):
+        bars = bars_at_budget(records, budget_fraction=1.0)
+        assert len(bars) == 4  # (rs, hb) x (noiseless, noisy)
+        with pytest.raises(ValueError):
+            bars_at_budget(records, budget_fraction=0.0)
+
+    def test_hb_does_more_evaluations(self, records):
+        rs_evals = by(records, method="rs", setting="noiseless")[0].n_evaluations
+        hb_evals = by(records, method="hb", setting="noiseless")[0].n_evaluations
+        assert hb_evals > rs_evals
+
+    def test_make_tuner_validates_method(self, ctx):
+        with pytest.raises(ValueError):
+            make_tuner("cma-es", ctx, "cifar10", PAPER_NOISY, seed=0)
+
+
+class TestTables:
+    def test_table1_columns(self, ctx):
+        records = run_table1(ctx)
+        assert len(records) == 4
+        for r in records:
+            assert r.train_clients > 0
+            assert r.total_examples > 0
+
+    def test_table2_has_min_max(self, ctx):
+        records = run_table2(ctx)
+        for r in records:
+            assert r.min_examples <= r.mean_examples <= r.max_examples
+
+    def test_printouts(self, ctx):
+        t1 = print_table1(ctx)
+        t2 = print_table2(ctx)
+        assert "cifar10" in t1 and "reddit" in t1
+        assert "next_token" in t2

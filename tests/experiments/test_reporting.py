@@ -1,0 +1,57 @@
+"""Tests for ASCII reporting."""
+
+import pytest
+
+from repro.experiments import format_series, format_table, summarize_trials
+from repro.utils.records import Record
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        recs = [Record(a=1, b=0.5), Record(a=22, b=0.25)]
+        out = format_table(recs, ("a", "b"))
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "0.500" in out
+        assert "22" in out
+
+    def test_title(self):
+        out = format_table([Record(x=1)], ("x",), title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_missing_column_blank(self):
+        out = format_table([Record(a=1)], ("a", "missing"))
+        assert "missing" in out
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            format_table([Record(a=1)], ())
+
+    def test_empty_records_ok(self):
+        out = format_table([], ("a",))
+        assert "a" in out
+
+    def test_float_format(self):
+        out = format_table([Record(v=0.123456)], ("v",), float_fmt="{:.1f}")
+        assert "0.1" in out
+
+
+class TestFormatSeries:
+    def test_aligns_series_on_x(self):
+        out = format_series({"rs": [0.5, 0.4], "hb": [0.6, 0.2]}, x=[10, 20], x_label="budget")
+        lines = out.splitlines()
+        assert "budget" in lines[0]
+        assert "rs" in lines[0] and "hb" in lines[0]
+        assert "10" in lines[2]
+
+
+class TestSummarizeTrials:
+    def test_quartiles(self):
+        rec = summarize_trials([1, 2, 3, 4, 5])
+        assert rec.median == 3
+        assert rec.q25 == 2
+        assert rec.q75 == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])

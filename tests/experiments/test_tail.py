@@ -1,0 +1,55 @@
+"""Tests for the tail-performance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import config_tail_profile, run_tail_analysis
+from repro.experiments.fig_methods import METHODS, make_tuner
+from repro.experiments.fig_methods import PAPER_NOISELESS
+
+
+class TestConfigTailProfile:
+    def test_tail_at_least_mean(self, ctx):
+        profile = config_tail_profile(ctx.bank("cifar10"))
+        for r in profile:
+            assert r.tail_error >= r.mean_error - 1e-9
+
+    def test_one_record_per_config(self, ctx):
+        profile = config_tail_profile(ctx.bank("cifar10"))
+        assert len(profile) == ctx.n_bank_configs
+
+
+class TestRunTailAnalysis:
+    @pytest.fixture(scope="class")
+    def records(self, ctx):
+        return run_tail_analysis(ctx, dataset_names=("cifar10", "stackoverflow"), n_trials=20, k=8)
+
+    def test_record_per_dataset(self, records):
+        assert {r.dataset for r in records} == {"cifar10", "stackoverflow"}
+
+    def test_tail_objective_wins_on_tail(self, records):
+        """Selecting for the tail must give tail error <= selecting for the
+        mean (by construction of argmin, up to bootstrap ties)."""
+        for r in records:
+            assert r.tail_objective_tail <= r.mean_objective_tail + 1e-9
+
+    def test_mean_objective_wins_on_mean(self, records):
+        for r in records:
+            assert r.mean_objective_mean <= r.tail_objective_mean + 1e-9
+
+    def test_heterogeneous_dataset_has_mean_tail_gap(self, records):
+        """On the label-skewed dataset the mean-objective winner leaves a
+        visible tail gap."""
+        cifar = next(r for r in records if r.dataset == "cifar10")
+        assert cifar.mean_objective_tail >= cifar.mean_objective_mean
+
+
+class TestGPMethodRegistry:
+    def test_gp_methods_registered(self):
+        assert "gp-ei" in METHODS and "gp-nei" in METHODS
+
+    def test_make_tuner_builds_gp_variants(self, ctx):
+        tuner = make_tuner("gp-nei", ctx, "cifar10", PAPER_NOISELESS, seed=0, k=4)
+        assert tuner.acquisition == "nei"
+        tuner = make_tuner("gp-ei", ctx, "cifar10", PAPER_NOISELESS, seed=0, k=4)
+        assert tuner.acquisition == "ei"

@@ -1,0 +1,116 @@
+"""Tests for client samplers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fl import BiasedSampler, UniformSampler, biased_weights
+
+
+class TestUniformSampler:
+    def test_no_replacement(self, rng):
+        s = UniformSampler(10)
+        out = s.sample(10, rng)
+        assert sorted(out) == list(range(10))
+
+    def test_size_bounds(self, rng):
+        s = UniformSampler(5)
+        with pytest.raises(ValueError):
+            s.sample(0, rng)
+        with pytest.raises(ValueError):
+            s.sample(6, rng)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+
+    def test_approximately_uniform(self):
+        rng = np.random.default_rng(0)
+        s = UniformSampler(10)
+        counts = np.zeros(10)
+        for _ in range(2000):
+            counts[s.sample(3, rng)] += 1
+        freq = counts / counts.sum()
+        assert np.allclose(freq, 0.1, atol=0.02)
+
+
+class TestBiasedWeights:
+    def test_b_zero_is_uniform(self):
+        w = biased_weights(np.array([0.1, 0.5, 0.9]), b=0.0)
+        assert np.allclose(w, 1.0 / 3)
+
+    def test_higher_accuracy_higher_weight(self):
+        w = biased_weights(np.array([0.1, 0.9]), b=2.0)
+        assert w[1] > w[0]
+
+    def test_larger_b_more_extreme(self):
+        acc = np.array([0.1, 0.9])
+        w1 = biased_weights(acc, b=1.0)
+        w3 = biased_weights(acc, b=3.0)
+        assert w3[1] / w3[0] > w1[1] / w1[0]
+
+    def test_sums_to_one(self, rng):
+        w = biased_weights(rng.random(10), b=1.5)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            biased_weights(np.array([1.5]), b=1.0)
+        with pytest.raises(ValueError):
+            biased_weights(np.array([0.5]), b=-1.0)
+
+    def test_delta_keeps_zero_accuracy_selectable(self):
+        w = biased_weights(np.array([0.0, 1.0]), b=1.0)
+        assert w[0] > 0
+
+
+class TestBiasedSampler:
+    def test_b_zero_uniform(self):
+        rng = np.random.default_rng(0)
+        s = BiasedSampler(b=0.0)
+        acc = np.array([0.0, 0.0, 1.0, 1.0])
+        counts = np.zeros(4)
+        for _ in range(2000):
+            counts[s.sample(acc, 2, rng)] += 1
+        assert np.allclose(counts / counts.sum(), 0.25, atol=0.03)
+
+    def test_strong_bias_prefers_accurate_clients(self):
+        rng = np.random.default_rng(0)
+        s = BiasedSampler(b=3.0)
+        acc = np.array([0.05, 0.05, 0.05, 0.95])
+        hits = sum(3 in s.sample(acc, 1, rng) for _ in range(500))
+        assert hits > 450
+
+    def test_without_replacement(self, rng):
+        s = BiasedSampler(b=1.0)
+        out = s.sample(np.linspace(0, 1, 6), 6, rng)
+        assert sorted(out) == list(range(6))
+
+    def test_size_bounds(self, rng):
+        s = BiasedSampler(b=1.0)
+        with pytest.raises(ValueError):
+            s.sample(np.array([0.5]), 2, rng)
+        with pytest.raises(ValueError):
+            s.sample(np.array([0.5]), 0, rng)
+
+    def test_rejects_negative_b(self):
+        with pytest.raises(ValueError):
+            BiasedSampler(b=-0.5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(2, 12),
+        size=st.integers(1, 12),
+        b=st.floats(0.0, 4.0),
+        seed=st.integers(0, 999),
+    )
+    def test_sample_always_valid_subset(self, n, size, b, seed):
+        if size > n:
+            return
+        rng = np.random.default_rng(seed)
+        acc = rng.random(n)
+        out = BiasedSampler(b=b).sample(acc, size, rng)
+        assert len(out) == size
+        assert len(set(out.tolist())) == size
+        assert all(0 <= i < n for i in out)

@@ -1,0 +1,125 @@
+"""Tests for server optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.fl import (
+    FedAdagrad,
+    FedAdam,
+    FedAvg,
+    FedAvgM,
+    FedYogi,
+    make_server_optimizer,
+)
+
+
+class TestFedAvg:
+    def test_lr_one_returns_average(self):
+        opt = FedAvg(lr=1.0)
+        params = np.array([1.0, 2.0])
+        avg = np.array([0.5, 1.0])
+        new = opt.step(params, params - avg)
+        assert np.allclose(new, avg)
+
+    def test_lr_scales_step(self):
+        opt = FedAvg(lr=0.5)
+        new = opt.step(np.array([1.0]), np.array([1.0]))
+        assert new[0] == pytest.approx(0.5)
+
+    def test_lr_decay(self):
+        opt = FedAvg(lr=1.0, lr_decay=0.5)
+        p = np.array([0.0])
+        p = opt.step(p, np.array([1.0]))  # lr 1.0
+        assert p[0] == pytest.approx(-1.0)
+        p = opt.step(p, np.array([1.0]))  # lr 0.5
+        assert p[0] == pytest.approx(-1.5)
+
+    def test_rejects_bad_hps(self):
+        with pytest.raises(ValueError):
+            FedAvg(lr=0.0)
+        with pytest.raises(ValueError):
+            FedAvg(lr=1.0, lr_decay=0.0)
+        with pytest.raises(ValueError):
+            FedAvg(lr=1.0, lr_decay=1.5)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FedAvg(lr=1.0).step(np.zeros(3), np.zeros(2))
+
+
+class TestFedAvgM:
+    def test_momentum_accumulates(self):
+        opt = FedAvgM(lr=1.0, momentum=0.5)
+        p = np.array([0.0])
+        p = opt.step(p, np.array([1.0]))  # v=1, p=-1
+        p = opt.step(p, np.array([1.0]))  # v=1.5, p=-2.5
+        assert p[0] == pytest.approx(-2.5)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            FedAvgM(lr=1.0, momentum=1.0)
+
+
+class TestAdaptive:
+    def test_fedadam_first_step_magnitude(self):
+        # First step: m = (1-b1) g, v = (1-b2) g^2; with g=1, b1=0.9, b2=0.99:
+        # step = lr * 0.1 / (sqrt(0.01) + tau)
+        opt = FedAdam(lr=1.0, beta1=0.9, beta2=0.99, tau=1e-3)
+        p = opt.step(np.array([0.0]), np.array([1.0]))
+        expected = -1.0 * 0.1 / (np.sqrt(0.01) + 1e-3)
+        assert p[0] == pytest.approx(expected)
+
+    def test_fedadam_converges_on_quadratic(self):
+        opt = FedAdam(lr=0.1, beta1=0.9, beta2=0.99)
+        w = np.array([4.0])
+        for _ in range(500):
+            w = opt.step(w, 2.0 * w)
+        assert abs(w[0]) < 0.05
+
+    def test_fedadagrad_accumulates_v(self):
+        opt = FedAdagrad(lr=1.0, beta1=0.0, beta2=0.9)
+        opt.step(np.array([0.0]), np.array([1.0]))
+        opt.step(np.array([0.0]), np.array([1.0]))
+        assert opt._v[0] == pytest.approx(2.0)
+
+    def test_fedyogi_v_moves_towards_g2(self):
+        opt = FedYogi(lr=1.0, beta1=0.0, beta2=0.9)
+        opt.step(np.array([0.0]), np.array([2.0]))
+        # v starts 0, g^2=4: v <- 0 - 0.1 * 4 * sign(0-4) = 0.4
+        assert opt._v[0] == pytest.approx(0.4)
+
+    def test_rejects_bad_hps(self):
+        with pytest.raises(ValueError):
+            FedAdam(lr=1.0, beta1=1.0)
+        with pytest.raises(ValueError):
+            FedAdam(lr=1.0, beta2=1.5)
+        with pytest.raises(ValueError):
+            FedAdam(lr=1.0, tau=0.0)
+
+    def test_decay_reduces_lr_over_rounds(self):
+        opt = FedAdam(lr=1.0, lr_decay=0.9)
+        assert opt.current_lr == pytest.approx(1.0)
+        opt.step(np.zeros(1), np.ones(1))
+        assert opt.current_lr == pytest.approx(0.9)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("fedavg", FedAvg),
+            ("fedavgm", FedAvgM),
+            ("fedadam", FedAdam),
+            ("fedadagrad", FedAdagrad),
+            ("fedyogi", FedYogi),
+        ],
+    )
+    def test_builds_by_name(self, name, cls):
+        assert isinstance(make_server_optimizer(name, lr=0.1), cls)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_server_optimizer("FedAdam", lr=0.1), FedAdam)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_server_optimizer("sgd", lr=0.1)

@@ -1,0 +1,94 @@
+"""Tests and property-based tests for functional primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import col2im, im2col, log_softmax, one_hot, softmax
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        p = softmax(rng.normal(size=(4, 7)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        x = rng.normal(size=(3, 5))
+        assert np.allclose(softmax(x), softmax(x + 1000.0))
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=(3, 5))
+        assert np.allclose(np.exp(log_softmax(x)), softmax(x))
+
+    def test_handles_extreme_values(self):
+        x = np.array([[1e6, -1e6]])
+        p = softmax(x)
+        assert np.all(np.isfinite(p))
+        assert p[0, 0] == pytest.approx(1.0)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(out, np.eye(3)[[0, 2, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestIm2Col:
+    def test_shapes(self, rng):
+        cols, oh, ow = im2col(rng.normal(size=(2, 3, 5, 5)), 3, 3, stride=1, pad=0)
+        assert (oh, ow) == (3, 3)
+        assert cols.shape == (2 * 9, 27)
+
+    def test_kernel_too_large_raises(self, rng):
+        with pytest.raises(ValueError):
+            im2col(rng.normal(size=(1, 1, 2, 2)), 3, 3)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        cols, oh, ow = im2col(x, 1, 1)
+        assert (oh, ow) == (4, 4)
+        recon = cols.reshape(2, 4, 4, 3).transpose(0, 3, 1, 2)
+        assert np.allclose(recon, x)
+
+    def test_known_patch_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        cols, _, _ = im2col(x, 2, 2)
+        # First patch is the top-left 2x2 block.
+        assert np.array_equal(cols[0], [0, 1, 4, 5])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(1, 3),
+        c=st.integers(1, 3),
+        hw=st.integers(3, 7),
+        k=st.integers(1, 3),
+        stride=st.integers(1, 2),
+        pad=st.integers(0, 1),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_col2im_is_adjoint_of_im2col(self, n, c, hw, k, stride, pad, seed):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+
+        This single property validates the whole convolution backward pass.
+        """
+        if hw + 2 * pad < k:
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, c, hw, hw))
+        cols, oh, ow = im2col(x, k, k, stride, pad)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        x_back = col2im(y, x.shape, k, k, stride, pad)
+        rhs = float((x * x_back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)

@@ -1,0 +1,58 @@
+"""Tests for weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import glorot_uniform, he_normal, normal_init, orthogonal, zeros_init
+from repro.nn.initializers import _fan_in_out
+
+
+class TestFanInOut:
+    def test_dense(self):
+        assert _fan_in_out((10, 20)) == (10, 20)
+
+    def test_conv(self):
+        # (out_c, in_c, kh, kw)
+        assert _fan_in_out((16, 8, 3, 3)) == (8 * 9, 16 * 9)
+
+    def test_vector(self):
+        assert _fan_in_out((7,)) == (7, 7)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            _fan_in_out(())
+
+
+class TestInitializers:
+    def test_glorot_bounds(self, rng):
+        w = glorot_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_std(self, rng):
+        w = he_normal((200, 200), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 200), rel=0.1)
+
+    def test_normal_std(self, rng):
+        w = normal_init((300, 300), rng, std=0.05)
+        assert w.std() == pytest.approx(0.05, rel=0.1)
+
+    def test_zeros(self):
+        assert np.all(zeros_init((3, 3)) == 0)
+
+    def test_orthogonal_square(self, rng):
+        q = orthogonal((8, 8), rng)
+        assert np.allclose(q.T @ q, np.eye(8), atol=1e-10)
+
+    def test_orthogonal_rect(self, rng):
+        q = orthogonal((4, 8), rng)
+        assert np.allclose(q @ q.T, np.eye(4), atol=1e-10)
+
+    def test_orthogonal_rejects_non_2d(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal((4,), rng)
+
+    def test_deterministic(self):
+        a = glorot_uniform((5, 5), np.random.default_rng(3))
+        b = glorot_uniform((5, 5), np.random.default_rng(3))
+        assert np.array_equal(a, b)

@@ -1,0 +1,106 @@
+"""Tests for the loss functions, including numerical gradient validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import sequence_cross_entropy, softmax_cross_entropy
+from repro.nn.gradcheck import numerical_gradient
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_give_log_c(self):
+        logits = np.zeros((4, 10))
+        loss, _ = softmax_cross_entropy(logits, np.zeros(4, dtype=int))
+        assert loss == pytest.approx(np.log(10))
+
+    def test_perfect_prediction_near_zero_loss(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 2] = 100.0
+        loss, _ = softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss == pytest.approx(0.0, abs=1e-8)
+
+    def test_gradient_matches_numerical(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        _, dlogits = softmax_cross_entropy(logits, labels)
+        num = numerical_gradient(lambda L: softmax_cross_entropy(L, labels)[0], logits.copy())
+        assert np.allclose(dlogits, num, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(6, 3))
+        _, d = softmax_cross_entropy(logits, rng.integers(0, 3, size=6))
+        assert np.allclose(d.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(rng.normal(size=(3,)), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(rng.normal(size=(3, 2)), np.zeros(4, dtype=int))
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            softmax_cross_entropy(np.zeros((0, 3)), np.zeros(0, dtype=int))
+
+    def test_loss_invariant_to_logit_shift(self, rng):
+        logits = rng.normal(size=(4, 5))
+        labels = rng.integers(0, 5, size=4)
+        l1, _ = softmax_cross_entropy(logits, labels)
+        l2, _ = softmax_cross_entropy(logits + 100.0, labels)
+        assert l1 == pytest.approx(l2)
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1e4, -1e4, 0.0]])
+        loss, d = softmax_cross_entropy(logits, np.array([0]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(d))
+
+
+class TestSequenceCrossEntropy:
+    def test_matches_flat_ce_without_mask(self, rng):
+        logits = rng.normal(size=(2, 3, 4))
+        labels = rng.integers(0, 4, size=(2, 3))
+        seq_loss, seq_grad = sequence_cross_entropy(logits, labels)
+        flat_loss, flat_grad = softmax_cross_entropy(logits.reshape(6, 4), labels.reshape(6))
+        assert seq_loss == pytest.approx(flat_loss)
+        assert np.allclose(seq_grad.reshape(6, 4), flat_grad)
+
+    def test_mask_removes_positions(self, rng):
+        logits = rng.normal(size=(1, 4, 3))
+        labels = rng.integers(0, 3, size=(1, 4))
+        mask = np.array([[1, 1, 0, 0]])
+        loss, grad = sequence_cross_entropy(logits, labels, mask)
+        # Masked positions must carry zero gradient.
+        assert np.allclose(grad[0, 2:], 0.0)
+        # Loss equals the average over the two unmasked tokens only.
+        ref_loss, _ = softmax_cross_entropy(logits[0, :2], labels[0, :2])
+        assert loss == pytest.approx(ref_loss)
+
+    def test_gradient_matches_numerical_with_mask(self, rng):
+        logits = rng.normal(size=(2, 3, 3))
+        labels = rng.integers(0, 3, size=(2, 3))
+        mask = rng.integers(0, 2, size=(2, 3)).astype(float)
+        mask[0, 0] = 1.0  # guarantee non-empty
+        _, grad = sequence_cross_entropy(logits, labels, mask)
+        num = numerical_gradient(
+            lambda L: sequence_cross_entropy(L, labels, mask)[0], logits.copy()
+        )
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_rejects_all_masked(self, rng):
+        logits = rng.normal(size=(1, 2, 3))
+        labels = np.zeros((1, 2), dtype=int)
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(logits, labels, np.zeros((1, 2)))
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(rng.normal(size=(2, 3)), np.zeros((2, 3), dtype=int))
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(
+                rng.normal(size=(2, 3, 4)), np.zeros((2, 2), dtype=int)
+            )
+        with pytest.raises(ValueError):
+            sequence_cross_entropy(
+                rng.normal(size=(2, 3, 4)), np.zeros((2, 3), dtype=int), np.ones((1, 3))
+            )

@@ -1,0 +1,123 @@
+"""Tests for SGD and Adam."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Sequential, softmax_cross_entropy
+from repro.nn.module import Parameter
+
+
+def quadratic_param(start=5.0):
+    """A single scalar parameter minimising f(w) = w^2 (grad = 2w)."""
+    return Parameter(np.array([start]))
+
+
+class TestSGD:
+    def test_rejects_bad_hyperparameters(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, weight_decay=-1.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_plain_step(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1)
+        p.grad[:] = 2.0
+        opt.step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 2.0)
+
+    def test_momentum_accumulates(self):
+        p = quadratic_param(0.0)
+        opt = SGD([p], lr=1.0, momentum=0.5)
+        p.grad[:] = 1.0
+        opt.step()  # v = 1, w = -1
+        assert p.data[0] == pytest.approx(-1.0)
+        p.grad[:] = 1.0
+        opt.step()  # v = 1.5, w = -2.5
+        assert p.data[0] == pytest.approx(-2.5)
+
+    def test_weight_decay_shrinks_weights(self):
+        p = quadratic_param(10.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad[:] = 0.0
+        opt.step()
+        assert p.data[0] == pytest.approx(10.0 - 0.1 * 0.5 * 10.0)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(5.0)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad[:] = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_zero_grad(self):
+        p = quadratic_param()
+        opt = SGD([p], lr=0.1)
+        p.grad[:] = 3.0
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_for_module_collects_all_params(self, rng):
+        model = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        opt = SGD.for_module(model, lr=0.1)
+        assert len(opt.params) == 4
+
+
+class TestAdam:
+    def test_rejects_bad_betas(self):
+        p = quadratic_param()
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([p], lr=0.1, beta2=-0.1)
+
+    def test_first_step_size_is_lr(self):
+        # With bias correction the first Adam step is ~lr * sign(grad).
+        p = quadratic_param(0.0)
+        opt = Adam([p], lr=0.01)
+        p.grad[:] = 123.0
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = quadratic_param(3.0)
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            p.zero_grad()
+            p.grad[:] = 2.0 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_weight_decay(self):
+        p = quadratic_param(10.0)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        p.grad[:] = 0.0
+        opt.step()
+        assert p.data[0] < 10.0
+
+
+class TestTrainingIntegration:
+    def test_sgd_reduces_classification_loss(self, rng):
+        """End-to-end: a small MLP fits a linearly separable problem."""
+        x = rng.normal(size=(64, 5))
+        w_true = rng.normal(size=(5,))
+        y = (x @ w_true > 0).astype(int)
+        model = Sequential(Linear(5, 8, rng), Linear(8, 2, rng))
+        opt = SGD.for_module(model, lr=0.5, momentum=0.9)
+        first_loss = None
+        for _ in range(60):
+            model.zero_grad()
+            logits = model(x)
+            loss, dlogits = softmax_cross_entropy(logits, y)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(dlogits)
+            opt.step()
+        assert loss < first_loss * 0.5

@@ -1,0 +1,74 @@
+"""Property-based tests (hypothesis) on core nn invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    LSTM,
+    Linear,
+    Sequential,
+    Tanh,
+    get_flat_params,
+    gradcheck_module,
+    set_flat_params,
+    softmax_cross_entropy,
+)
+
+dims = st.integers(1, 6)
+seeds = st.integers(0, 2**31 - 1)
+
+
+class TestFlatParamProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(d_in=dims, d_hidden=dims, d_out=dims, seed=seeds)
+    def test_flat_roundtrip_identity(self, d_in, d_hidden, d_out, seed):
+        model = Sequential(Linear(d_in, d_hidden, seed), Tanh(), Linear(d_hidden, d_out, seed + 1))
+        flat = get_flat_params(model)
+        set_flat_params(model, flat)
+        assert np.array_equal(get_flat_params(model), flat)
+
+    @settings(max_examples=20, deadline=None)
+    @given(d=dims, seed=seeds)
+    def test_set_is_surjective(self, d, seed):
+        model = Sequential(Linear(d, d, seed))
+        rng = np.random.default_rng(seed)
+        target = rng.normal(size=model.num_parameters())
+        set_flat_params(model, target)
+        assert np.allclose(get_flat_params(model), target)
+
+
+class TestGradcheckProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(d_in=st.integers(2, 4), d_out=st.integers(2, 4), n=st.integers(1, 3), seed=seeds)
+    def test_linear_gradients_always_exact(self, d_in, d_out, n, seed):
+        rng = np.random.default_rng(seed)
+        gradcheck_module(Linear(d_in, d_out, rng), rng.normal(size=(n, d_in)))
+
+    @settings(max_examples=5, deadline=None)
+    @given(h=st.integers(2, 3), t=st.integers(1, 3), seed=seeds)
+    def test_lstm_gradients_always_exact(self, h, t, seed):
+        rng = np.random.default_rng(seed)
+        gradcheck_module(LSTM(2, h, rng=rng), rng.normal(size=(2, t, 2)))
+
+
+class TestLossProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 8), c=st.integers(2, 6), seed=seeds)
+    def test_ce_loss_nonnegative_and_grad_sums_zero(self, n, c, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=(n, c)) * 3
+        labels = rng.integers(0, c, size=n)
+        loss, d = softmax_cross_entropy(logits, labels)
+        assert loss >= 0
+        assert np.allclose(d.sum(axis=1), 0.0, atol=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(1, 8), c=st.integers(2, 6), seed=seeds)
+    def test_ce_bounded_below_by_best_possible(self, n, c, seed):
+        # CE >= 0 always, and CE <= log(C) + margin when logits are zero.
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, c, size=n)
+        loss_zero, _ = softmax_cross_entropy(np.zeros((n, c)), labels)
+        assert loss_zero == pytest.approx(np.log(c))

@@ -1,0 +1,106 @@
+"""Tests for the LSTM stack."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTM, LSTMCell, gradcheck_module
+
+
+class TestLSTMCell:
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(4, 3, rng)
+        h, c, cache = cell.step(rng.normal(size=(2, 4)), np.zeros((2, 3)), np.zeros((2, 3)))
+        assert h.shape == (2, 3)
+        assert c.shape == (2, 3)
+
+    def test_forget_bias_initialised_to_one(self, rng):
+        cell = LSTMCell(4, 3, rng)
+        assert np.allclose(cell.bias.data[3:6], 1.0)
+        assert np.allclose(cell.bias.data[:3], 0.0)
+
+    def test_direct_call_raises(self, rng):
+        cell = LSTMCell(4, 3, rng)
+        with pytest.raises(RuntimeError):
+            cell.forward(np.zeros((1, 4)))
+
+    def test_recurrent_weight_blocks_orthogonal(self, rng):
+        cell = LSTMCell(4, 6, rng)
+        for g in range(4):
+            block = cell.w_h.data[:, g * 6 : (g + 1) * 6]
+            assert np.allclose(block.T @ block, np.eye(6), atol=1e-8)
+
+
+class TestLSTM:
+    def test_output_shape(self, rng):
+        lstm = LSTM(4, 3, num_layers=2, rng=rng)
+        assert lstm(rng.normal(size=(5, 7, 4))).shape == (5, 7, 3)
+
+    def test_rejects_bad_input(self, rng):
+        lstm = LSTM(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            lstm(rng.normal(size=(5, 4)))
+        with pytest.raises(ValueError):
+            lstm(rng.normal(size=(5, 7, 3)))
+
+    def test_rejects_zero_layers(self, rng):
+        with pytest.raises(ValueError):
+            LSTM(4, 3, num_layers=0, rng=rng)
+
+    def test_backward_shape(self, rng):
+        lstm = LSTM(4, 3, num_layers=2, rng=rng)
+        x = rng.normal(size=(2, 5, 4))
+        y = lstm(x)
+        dx = lstm.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_backward_rejects_bad_shape(self, rng):
+        lstm = LSTM(4, 3, rng=rng)
+        lstm(rng.normal(size=(2, 5, 4)))
+        with pytest.raises(ValueError):
+            lstm.backward(np.zeros((2, 5, 4)))
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LSTM(2, 2, rng=rng).backward(np.zeros((1, 1, 2)))
+
+    def test_gradcheck_single_layer(self, rng):
+        gradcheck_module(LSTM(3, 2, num_layers=1, rng=rng), rng.normal(size=(2, 4, 3)))
+
+    def test_gradcheck_two_layers(self, rng):
+        gradcheck_module(LSTM(3, 2, num_layers=2, rng=rng), rng.normal(size=(2, 3, 3)))
+
+    def test_deterministic_given_seed(self):
+        x = np.random.default_rng(7).normal(size=(2, 4, 3))
+        y1 = LSTM(3, 5, num_layers=2, rng=42)(x)
+        y2 = LSTM(3, 5, num_layers=2, rng=42)(x)
+        assert np.array_equal(y1, y2)
+
+    def test_state_resets_between_forwards(self, rng):
+        # Stateless LSTM: same input twice -> same output (no carried state).
+        lstm = LSTM(3, 4, rng=rng)
+        x = rng.normal(size=(2, 5, 3))
+        assert np.array_equal(lstm(x), lstm(x))
+
+    def test_sequence_order_matters(self, rng):
+        lstm = LSTM(3, 4, rng=rng)
+        x = rng.normal(size=(1, 5, 3))
+        y_fwd = lstm(x)
+        y_rev = lstm(x[:, ::-1, :])
+        assert not np.allclose(y_fwd[:, -1], y_rev[:, -1])
+
+    def test_param_count(self, rng):
+        lstm = LSTM(4, 3, num_layers=2, rng=rng)
+        # Layer 1: (4*12 + 3*12 + 12), layer 2: (3*12 + 3*12 + 12).
+        expected = (4 * 12 + 3 * 12 + 12) + (3 * 12 + 3 * 12 + 12)
+        assert lstm.num_parameters() == expected
+
+    def test_gradient_accumulates_across_backwards(self, rng):
+        lstm = LSTM(2, 2, rng=rng)
+        x = rng.normal(size=(1, 3, 2))
+        lstm.zero_grad()
+        y = lstm(x)
+        lstm.backward(np.ones_like(y))
+        g1 = lstm.cells[0].w_x.grad.copy()
+        y = lstm(x)
+        lstm.backward(np.ones_like(y))
+        assert np.allclose(lstm.cells[0].w_x.grad, 2 * g1)

@@ -1,0 +1,57 @@
+"""Tests for model parameter persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    get_flat_params,
+    load_params,
+    make_cnn,
+    make_lstm_lm,
+    make_mlp,
+    save_params,
+)
+
+
+class TestSaveLoadParams:
+    def test_roundtrip_mlp(self, rng, tmp_path):
+        model = make_mlp(5, 3, hidden=(8,), rng=rng)
+        path = str(tmp_path / "mlp.npz")
+        save_params(model, path)
+        clone = make_mlp(5, 3, hidden=(8,), rng=999)
+        load_params(clone, path)
+        assert np.array_equal(get_flat_params(clone), get_flat_params(model))
+
+    def test_roundtrip_cnn(self, rng, tmp_path):
+        model = make_cnn(8, 3, 10, channels=(4, 8), rng=rng)
+        path = str(tmp_path / "cnn.npz")
+        save_params(model, path)
+        clone = make_cnn(8, 3, 10, channels=(4, 8), rng=1)
+        load_params(clone, path)
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert np.allclose(model(x), clone(x))
+
+    def test_roundtrip_lstm(self, rng, tmp_path):
+        model = make_lstm_lm(12, 4, 4, 2, rng=rng)
+        path = str(tmp_path / "lm.npz")
+        save_params(model, path)
+        clone = make_lstm_lm(12, 4, 4, 2, rng=7)
+        load_params(clone, path)
+        ids = rng.integers(0, 12, size=(2, 5))
+        assert np.allclose(model(ids), clone(ids))
+
+    def test_architecture_mismatch_rejected(self, rng, tmp_path):
+        model = make_mlp(5, 3, hidden=(8,), rng=rng)
+        path = str(tmp_path / "mlp.npz")
+        save_params(model, path)
+        wrong = make_mlp(5, 3, hidden=(16,), rng=rng)
+        with pytest.raises(ValueError):
+            load_params(wrong, path)
+
+    def test_different_depth_rejected(self, rng, tmp_path):
+        model = make_mlp(5, 3, hidden=(8,), rng=rng)
+        path = str(tmp_path / "mlp.npz")
+        save_params(model, path)
+        wrong = make_mlp(5, 3, hidden=(8, 8), rng=rng)
+        with pytest.raises(ValueError):
+            load_params(wrong, path)

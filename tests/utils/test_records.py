@@ -1,0 +1,74 @@
+"""Tests for Record serialization and stats helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Record,
+    median_and_quartiles,
+    records_from_json,
+    records_to_json,
+    weighted_mean,
+)
+
+
+class TestRecord:
+    def test_attribute_access(self):
+        r = Record(a=1, b="x")
+        assert r.a == 1
+        assert r.b == "x"
+
+    def test_attribute_set(self):
+        r = Record()
+        r.error = 0.5
+        assert r["error"] == 0.5
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            Record().missing
+
+    def test_to_builtin_converts_numpy(self):
+        r = Record(x=np.float64(1.5), arr=np.arange(3), nested={"y": np.int64(2)})
+        b = r.to_builtin()
+        assert b == {"x": 1.5, "arr": [0, 1, 2], "nested": {"y": 2}}
+        assert isinstance(b["x"], float)
+
+    def test_json_roundtrip(self, tmp_path):
+        recs = [Record(dataset="cifar", error=np.float64(0.4), n=np.int64(3))]
+        path = str(tmp_path / "out.json")
+        records_to_json(recs, path)
+        loaded = records_from_json(path)
+        assert loaded[0].dataset == "cifar"
+        assert loaded[0].error == pytest.approx(0.4)
+
+    def test_load_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            records_from_json(str(path))
+
+
+class TestStats:
+    def test_weighted_mean_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weighted_mean_weights(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_errors(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [1.0])
+
+    def test_median_and_quartiles(self):
+        q25, q50, q75 = median_and_quartiles([1, 2, 3, 4, 5])
+        assert q50 == 3
+        assert q25 == 2
+        assert q75 == 4
+
+    def test_median_empty_raises(self):
+        with pytest.raises(ValueError):
+            median_and_quartiles([])

@@ -1,0 +1,80 @@
+"""Tests for RNG management."""
+
+import numpy as np
+import pytest
+
+from repro.utils import RngFactory, as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_int_seed(self):
+        assert as_rng(3).integers(0, 100) == as_rng(3).integers(0, 100)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_streams_independent_and_stable(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for ga, gb in zip(a, b):
+            assert ga.integers(0, 1 << 30) == gb.integers(0, 1 << 30)
+        draws = [g.integers(0, 1 << 30) for g in spawn_rngs(7, 3)]
+        assert len(set(draws)) == 3
+
+    def test_prefix_stability(self):
+        # Requesting more streams must not change the first ones.
+        a = spawn_rngs(7, 2)
+        b = spawn_rngs(7, 5)
+        for ga, gb in zip(a, b[:2]):
+            assert ga.integers(0, 1 << 30) == gb.integers(0, 1 << 30)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator_advances(self):
+        g = np.random.default_rng(0)
+        first = [r.integers(0, 1 << 30) for r in spawn_rngs(g, 2)]
+        second = [r.integers(0, 1 << 30) for r in spawn_rngs(g, 2)]
+        assert first != second
+
+
+class TestRngFactory:
+    def test_named_streams_stable(self):
+        f1, f2 = RngFactory(0), RngFactory(0)
+        assert f1.make("a").integers(0, 1 << 30) == f2.make("a").integers(0, 1 << 30)
+
+    def test_named_streams_distinct(self):
+        f = RngFactory(0)
+        assert f.make("a").integers(0, 1 << 30) != f.make("b").integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        assert RngFactory(0).make("x").integers(0, 1 << 30) != RngFactory(1).make("x").integers(0, 1 << 30)
+
+    def test_child_namespacing(self):
+        f = RngFactory(0)
+        c1 = f.child("trial-1").make("eval")
+        c2 = f.child("trial-2").make("eval")
+        assert c1.integers(0, 1 << 30) != c2.integers(0, 1 << 30)
+
+    def test_child_stable(self):
+        a = RngFactory(5).child("x").make("y").integers(0, 1 << 30)
+        b = RngFactory(5).child("x").make("y").integers(0, 1 << 30)
+        assert a == b
+
+    def test_make_many(self):
+        f = RngFactory(0)
+        gens = f.make_many("clients", 4)
+        assert len(gens) == 4
+        draws = [g.integers(0, 1 << 30) for g in gens]
+        assert len(set(draws)) == 4
+
+    def test_repeated_make_same_name_identical(self):
+        f = RngFactory(0)
+        assert f.make("a").integers(0, 1 << 30) == f.make("a").integers(0, 1 << 30)
