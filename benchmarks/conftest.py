@@ -10,9 +10,26 @@ Two contexts:
   is the measured work.
 """
 
+import os
+
 import pytest
 
 from repro.experiments import ExperimentContext
+
+
+_BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pytest_collection_modifyitems(items):
+    """Benchmarks are the slow tier: mark everything here ``slow`` (and
+    ``bench``) so the default fast run deselects it.
+
+    The hook sees the whole session's items, so filter to this directory.
+    """
+    for item in items:
+        if str(item.fspath).startswith(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

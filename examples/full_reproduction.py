@@ -44,13 +44,29 @@ def main() -> None:
     parser.add_argument("--bank-configs", type=int, default=16)
     parser.add_argument("--out-dir", default=None, help="save per-artifact JSON here")
     parser.add_argument("--skip", nargs="*", default=(), help="artifact ids to skip")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="bank cache directory: reruns reuse trained banks "
+        "(default: $REPRO_BANK_CACHE)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for bank builds (default: $REPRO_WORKERS)",
+    )
     args = parser.parse_args()
 
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)
 
     ctx = ExperimentContext(
-        preset=args.preset, seed=args.seed, n_bank_configs=args.bank_configs
+        preset=args.preset,
+        seed=args.seed,
+        n_bank_configs=args.bank_configs,
+        cache_dir=args.cache_dir,
+        n_workers=args.workers,
     )
     t_start = time.time()
     for artifact in ORDER:

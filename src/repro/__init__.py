@@ -17,6 +17,9 @@ The package is organised bottom-up:
   differential privacy).
 - :mod:`repro.experiments` — drivers that regenerate every table and figure
   in the paper's evaluation.
+- :mod:`repro.engine` — the parallel execution substrate: process-pool
+  executor, `advance_many` batch trial API, and the disk-backed
+  configuration-bank store. Parallelism and caching never change results.
 """
 
 __version__ = "1.0.0"

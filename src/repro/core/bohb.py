@@ -76,7 +76,7 @@ class BOHB(Hyperband):
                 return model.suggest()
         return self.space.sample(self.rng)
 
-    def observe(self, trial: Trial) -> float:
-        noisy = super().observe(trial)
+    def observe(self, trial: Trial, budget_used=None) -> float:
+        noisy = super().observe(trial, budget_used=budget_used)
         self._model_for(trial.rounds).tell(trial.config, noisy)
         return noisy

@@ -96,6 +96,8 @@ class CentralizedTrialRunner(TrialRunner):
         rates = client_error_rates(
             trial.state.model, self.dataset.eval_clients, self.dataset.task
         )
+        # Read-only, so callers cannot corrupt the cached copy.
+        rates.setflags(write=False)
         self._rates_cache[trial.trial_id] = (trial.rounds, rates)
         return rates
 

@@ -10,7 +10,7 @@ precomputed configuration bank (:class:`repro.experiments.bank.BankTrialRunner`
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,6 +95,24 @@ class TrialRunner:
             self.rounds_used += allowed
         return allowed
 
+    def advance_many(self, requests: Sequence[Tuple[Trial, int]]) -> List[int]:
+        """Batch :meth:`advance`: train many independent trials at once.
+
+        Returns the rounds consumed per request, exactly as a serial
+        ``[self.advance(t, r) for t, r in requests]`` would — that serial
+        loop is the default implementation. Runners with an executor
+        override this to fan the training work across workers; results
+        must stay bit-identical to the serial loop. Each trial may appear
+        at most once per batch (the calls would not be independent
+        otherwise).
+        """
+        seen = set()
+        for trial, _ in requests:
+            if trial.trial_id in seen:
+                raise ValueError(f"trial {trial.trial_id} appears twice in one batch")
+            seen.add(trial.trial_id)
+        return [self.advance(trial, rounds) for trial, rounds in requests]
+
     # -- measurement ----------------------------------------------------------
     def error_rates(self, trial: Trial) -> np.ndarray:
         """Per-validation-client error rates at the trial's current state."""
@@ -117,11 +135,23 @@ class TrialRunner:
         raise NotImplementedError
 
 
+def _advance_trainer_task(payload, index: int) -> dict:
+    """Worker task for parallel ``advance_many``: run the (fork-inherited)
+    trainer for its allotted rounds and ship back only its compact state."""
+    trainer, rounds = payload[index]
+    trainer.run(rounds)
+    return trainer.state_dict()
+
+
 class FederatedTrialRunner(TrialRunner):
     """Live runner: every trial is a real :class:`FederatedTrainer`.
 
     Per-trial seeds derive deterministically from the runner seed and the
-    trial id, so a tuning run is reproducible end-to-end.
+    trial id, so a tuning run is reproducible end-to-end. An ``executor``
+    (see :mod:`repro.engine.executor`) parallelises :meth:`advance_many`
+    across processes: each trainer carries its own RNG stream, so training
+    trials in workers and merging their state back is bit-identical to the
+    serial loop.
     """
 
     def __init__(
@@ -131,11 +161,13 @@ class FederatedTrialRunner(TrialRunner):
         clients_per_round: int = 10,
         scheme: str = "weighted",
         seed: SeedLike = 0,
+        executor=None,
     ):
         super().__init__(max_rounds)
         self.dataset = dataset
         self.clients_per_round = clients_per_round
         self.scheme = scheme
+        self.executor = executor
         self._seed_rng = as_rng(seed)
         self._rates_cache: Dict[int, tuple] = {}
 
@@ -152,11 +184,42 @@ class FederatedTrialRunner(TrialRunner):
     def _advance_trial(self, trial: Trial, rounds: int) -> None:
         trial.state.run(rounds)
 
+    def advance_many(self, requests: Sequence[Tuple[Trial, int]]) -> List[int]:
+        executor = self.executor
+        if executor is None or getattr(executor, "n_workers", 1) <= 1:
+            return super().advance_many(requests)
+        seen = set()
+        for trial, rounds in requests:
+            if rounds < 0:
+                raise ValueError(f"rounds must be >= 0, got {rounds}")
+            if trial.trial_id in seen:
+                raise ValueError(f"trial {trial.trial_id} appears twice in one batch")
+            seen.add(trial.trial_id)
+        # The per-trial cap is pure arithmetic, so the whole batch can be
+        # planned up front and only the training itself farmed out.
+        planned = [(trial, min(rounds, self.max_rounds - trial.rounds)) for trial, rounds in requests]
+        work = [(trial, allowed) for trial, allowed in planned if allowed > 0]
+        if len(work) > 1:
+            payload = [(trial.state, allowed) for trial, allowed in work]
+            states = executor.map(_advance_trainer_task, range(len(work)), payload=payload)
+            for (trial, _), state in zip(work, states):
+                trial.state.load_state_dict(state)
+        else:
+            for trial, allowed in work:
+                trial.state.run(allowed)
+        for trial, allowed in planned:
+            trial.rounds += allowed
+            self.rounds_used += allowed
+        return [allowed for _, allowed in planned]
+
     def error_rates(self, trial: Trial) -> np.ndarray:
         cached = self._rates_cache.get(trial.trial_id)
         if cached is not None and cached[0] == trial.rounds:
             return cached[1]
         rates = trial.state.eval_error_rates()
+        # Read-only: callers (noise stacks, robust tuners, user code) must
+        # not be able to corrupt the cache that full_error reads later.
+        rates.setflags(write=False)
         self._rates_cache[trial.trial_id] = (trial.rounds, rates)
         return rates
 

@@ -52,6 +52,9 @@ class GPBO(RandomSearch):
     """
 
     method_name = "gp-bo"
+    # The GP is fit on earlier observations, so the strict
+    # propose -> train -> observe loop must be preserved.
+    sequential_proposals = True
 
     def __init__(
         self,
@@ -96,8 +99,8 @@ class GPBO(RandomSearch):
         best = candidates[int(np.argmax(scores))]
         return self.space.from_unit_vector(best)
 
-    def observe(self, trial) -> float:
-        noisy = super().observe(trial)
+    def observe(self, trial, budget_used=None) -> float:
+        noisy = super().observe(trial, budget_used=budget_used)
         self._xs.append(self.space.to_unit_vector(trial.config))
         self._ys.append(noisy)
         return noisy

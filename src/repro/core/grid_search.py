@@ -67,9 +67,7 @@ class GridSearch(BaseTuner):
     def _run(self) -> None:
         n = len(self._grid)
         rounds_per_config = max(1, self.total_budget // n)
-        for config in self._grid:
-            if self.ledger.exhausted:
-                break
-            trial = self.runner.create(config)
-            self.train_trial(trial, rounds_per_config)
-            self.observe(trial)
+        # Grid points are fixed upfront, so the whole sweep is one batch.
+        trials, snapshots = self.create_and_train(self._grid, rounds_per_config)
+        for trial, used in zip(trials, snapshots):
+            self.observe(trial, budget_used=used)

@@ -144,13 +144,19 @@ class Hyperband(BaseTuner):
         trials = [self.runner.create(self.propose()) for _ in range(n_configs)]
         for n_active, target_rounds in sha_rungs(n_configs, r0, self.eta, self._max_rounds):
             active = trials[:n_active]
-            scores = []
-            for trial in active:
-                needed = target_rounds - trial.rounds
-                consumed = self.train_trial(trial, needed)
-                scores.append(self.observe(trial))
-                if self.ledger.exhausted and consumed < needed:
-                    return
+            # A rung's trials are independent: grant their budget serially,
+            # train them as one advance_many batch (parallel runners fan it
+            # across workers), then evaluate in rung order. Evaluation-noise
+            # draws and budget snapshots land exactly as in a serial loop.
+            planned, snapshots, truncated = self.train_trials(
+                (trial, target_rounds - trial.rounds) for trial in active
+            )
+            scores = [
+                self.observe(trial, budget_used=used)
+                for (trial, _), used in zip(planned, snapshots)
+            ]
+            if truncated:
+                return
             # Promote the best ``n // eta`` (by noisy score) to the next rung.
             order = np.argsort(scores, kind="stable")
             trials = [active[i] for i in order]

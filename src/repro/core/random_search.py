@@ -22,9 +22,17 @@ class RandomSearch(BaseTuner):
     ``config_source`` overrides proposal sampling — the configuration-bank
     bootstrap uses it to resample configs from a pretrained pool, and TPE
     subclasses the same loop with model-based proposals.
+
+    Plain random-search proposals do not depend on earlier evaluations, so
+    the run is phased: propose every config, train them all as one
+    ``advance_many`` batch (parallel runners fan it across workers), then
+    evaluate in proposal order. Subclasses whose proposals *are* driven by
+    earlier observations (TPE) set ``sequential_proposals = True`` to keep
+    the strict propose→train→observe loop.
     """
 
     method_name = "rs"
+    sequential_proposals = False
 
     def __init__(
         self,
@@ -53,9 +61,19 @@ class RandomSearch(BaseTuner):
 
     def _run(self) -> None:
         rounds_per_config = max(1, self.total_budget // self.n_configs)
-        for _ in range(self.n_configs):
-            if self.ledger.exhausted:
-                break
-            trial = self.runner.create(self.propose())
-            self.train_trial(trial, rounds_per_config)
-            self.observe(trial)
+        if self.sequential_proposals:
+            for _ in range(self.n_configs):
+                if self.ledger.exhausted:
+                    break
+                trial = self.runner.create(self.propose())
+                self.train_trial(trial, rounds_per_config)
+                self.observe(trial)
+            return
+        # Phase 1: propose and fund every config that starts within the
+        # budget, training them as one batch. Phase 2: evaluate in
+        # proposal order with the recorded budget snapshots.
+        trials, snapshots = self.create_and_train(
+            (self.propose() for _ in range(self.n_configs)), rounds_per_config
+        )
+        for trial, used in zip(trials, snapshots):
+            self.observe(trial, budget_used=used)

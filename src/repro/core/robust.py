@@ -116,15 +116,12 @@ class TwoStageRandomSearch(RandomSearch):
 
     def _run(self) -> None:
         rounds_per_config = max(1, self.total_budget // self.n_configs)
-        trials = []
-        screening = []
-        for _ in range(self.n_configs):
-            if self.ledger.exhausted:
-                break
-            trial = self.runner.create(self.propose())
-            self.train_trial(trial, rounds_per_config)
-            screening.append(self.observe(trial))
-            trials.append(trial)
+        trials, snapshots = self.create_and_train(
+            (self.propose() for _ in range(self.n_configs)), rounds_per_config
+        )
+        screening = [
+            self.observe(trial, budget_used=used) for trial, used in zip(trials, snapshots)
+        ]
         if not trials:
             return
         # Stage 2: fresh evaluations for the screening top-k. The final

@@ -181,6 +181,9 @@ class TPE(RandomSearch):
     """
 
     method_name = "tpe"
+    # Proposals are fit on earlier observations, so the strict
+    # propose -> train -> observe loop must be preserved.
+    sequential_proposals = True
 
     def __init__(
         self,
@@ -204,7 +207,7 @@ class TPE(RandomSearch):
     def propose(self) -> Dict:
         return self.sampler.suggest()
 
-    def observe(self, trial) -> float:
-        noisy = super().observe(trial)
+    def observe(self, trial, budget_used=None) -> float:
+        noisy = super().observe(trial, budget_used=budget_used)
         self.sampler.tell(trial.config, noisy)
         return noisy

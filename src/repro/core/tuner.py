@@ -93,14 +93,82 @@ class BaseTuner:
         raise NotImplementedError
 
     # -- shared mechanics -------------------------------------------------------
+    def _fund(self, trial: Trial, requested: int) -> int:
+        """Grant budget for one trial: ledger grant, per-config cap, refund.
+
+        This is the single copy of the budget arithmetic that every
+        execution path — serial :meth:`train_trial` and the batched
+        :meth:`train_trials`/:meth:`create_and_train` — shares; batched
+        and serial accounting stay equivalent by construction.
+        """
+        granted = self.ledger.grant(requested)
+        allowed = min(granted, self.runner.max_rounds - trial.rounds)
+        if allowed < granted:
+            # Trial hit its per-config cap; return unused rounds to budget.
+            self.ledger.used -= granted - allowed
+        return allowed
+
     def train_trial(self, trial: Trial, rounds: int) -> int:
         """Advance a trial within the global budget; returns rounds used."""
-        granted = self.ledger.grant(rounds)
-        consumed = self.runner.advance(trial, granted)
-        if consumed < granted:
-            # Trial hit its per-config cap; return unused rounds to budget.
-            self.ledger.used -= granted - consumed
-        return consumed
+        allowed = self._fund(trial, rounds)
+        self.runner.advance(trial, allowed)
+        return allowed
+
+    def train_trials(self, requests):
+        """Batch form of :meth:`train_trial` over ``[(trial, rounds), ...]``.
+
+        Budget grants happen serially (the ledger arithmetic — including
+        per-config-cap refunds and the exhaustion cutoff — is exactly what
+        a trial-by-trial loop produces), and only then is the training
+        itself issued as one :meth:`TrialRunner.advance_many` batch, which
+        parallel runners fan across workers.
+
+        Returns ``(planned, snapshots, truncated)``: the ``(trial,
+        consumed)`` pairs actually trained, the ledger value after each
+        grant (pass to :meth:`observe` as ``budget_used``), and whether
+        the batch was cut short by budget exhaustion — in which case
+        ``planned`` covers only the requests up to and including the
+        truncated one, mirroring where a serial loop would have stopped.
+        """
+        planned = []
+        snapshots = []
+        truncated = False
+        for trial, needed in requests:
+            allowed = self._fund(trial, needed)
+            planned.append((trial, allowed))
+            snapshots.append(self.ledger.used)
+            if self.ledger.exhausted and allowed < needed:
+                truncated = True
+                break
+        self.runner.advance_many(planned)
+        return planned, snapshots, truncated
+
+    def create_and_train(self, configs, rounds_per_config: int):
+        """Create one trial per config and train them as a single batch.
+
+        ``configs`` is consumed lazily and stops at budget exhaustion, so
+        proposal randomness is only drawn for trials that actually start —
+        exactly as in a serial create→train loop. Grants are serial (same
+        ledger arithmetic as :meth:`train_trial`); training goes through
+        :meth:`TrialRunner.advance_many` in one batch.
+
+        Returns ``(trials, snapshots)``: the created trials and the ledger
+        value after each trial's grant (pass to :meth:`observe` as
+        ``budget_used``).
+        """
+        planned = []
+        snapshots = []
+        configs = iter(configs)
+        while not self.ledger.exhausted:
+            try:
+                config = next(configs)
+            except StopIteration:
+                break
+            trial = self.runner.create(config)
+            planned.append((trial, self._fund(trial, rounds_per_config)))
+            snapshots.append(self.ledger.used)
+        self.runner.advance_many(planned)
+        return [trial for trial, _ in planned], snapshots
 
     def _evaluate_rates(self, rates: np.ndarray):
         """Hook: turn per-client error rates into one noisy evaluation.
@@ -110,11 +178,18 @@ class BaseTuner:
         """
         return self.evaluator.evaluate(rates)
 
-    def observe(self, trial: Trial) -> float:
+    def observe(self, trial: Trial, budget_used: Optional[int] = None) -> float:
         """Noisily evaluate a trial, update the incumbent, record the curve.
+
+        ``budget_used`` pins the budget coordinate of the observation and
+        curve point; batched tuners pass the ledger snapshot taken when the
+        trial's rounds were granted, so batch execution records the same
+        budget axis a trial-by-trial loop would. Defaults to the live
+        ledger value.
 
         Returns the noisy error the tuner should act on.
         """
+        used = self.ledger.used if budget_used is None else budget_used
         rates = self.runner.error_rates(trial)
         evaluation = self._evaluate_rates(rates)
         self.observations.append(
@@ -124,7 +199,7 @@ class BaseTuner:
                 rounds=trial.rounds,
                 noisy_error=evaluation.error,
                 exact_error=evaluation.exact_subsampled_error,
-                budget_used=self.ledger.used,
+                budget_used=used,
             )
         )
         if evaluation.error < self._incumbent_noisy:
@@ -134,7 +209,7 @@ class BaseTuner:
         if self._incumbent is not None:
             self.curve.append(
                 CurvePoint(
-                    budget_used=self.ledger.used,
+                    budget_used=used,
                     incumbent_trial_id=self._incumbent.trial_id,
                     noisy_error=self._incumbent_noisy,
                     full_error=self.runner.full_error(self._incumbent, scheme=self.noise.scheme),

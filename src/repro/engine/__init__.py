@@ -1,0 +1,41 @@
+"""Parallel trial-execution engine.
+
+The engine is the execution substrate underneath every online experiment:
+
+- :mod:`repro.engine.executor` — a process-pool map primitive
+  (:class:`ProcessExecutor`) built for this codebase's constraints:
+  datasets hold closures and are *not* picklable, so heavy shared state
+  rides a fork-inherited payload and only small, picklable results cross
+  process boundaries. :class:`SerialExecutor` is the drop-in fallback and
+  the reference for bit-equivalence.
+- :mod:`repro.engine.runner` — :class:`ParallelTrialRunner`, a
+  :class:`repro.core.evaluator.FederatedTrialRunner` whose
+  ``advance_many`` batch API fans independent trials across workers while
+  preserving per-trial deterministic seeding.
+- :mod:`repro.engine.bank_store` — :class:`BankStore`, a disk-backed
+  memo of built configuration banks keyed by the full build signature
+  ``(dataset, preset, seed, n_configs, max_rounds, ...)``.
+
+Every parallel path is bit-equivalent to its serial counterpart: the only
+thing parallelism changes is wall-clock time.
+"""
+
+from repro.engine.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    default_workers,
+    make_executor,
+)
+from repro.engine.bank_store import BankStore
+from repro.engine.runner import ParallelTrialRunner
+
+__all__ = [
+    "BankStore",
+    "ParallelTrialRunner",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "TrialExecutor",
+    "default_workers",
+    "make_executor",
+]

@@ -1,0 +1,130 @@
+"""Process-pool execution primitive for independent trial work.
+
+Design constraints, in order of importance:
+
+1. **Determinism.** ``executor.map(fn, tasks, payload)`` must return exactly
+   what a serial ``[fn(payload, t) for t in tasks]`` returns, in order. All
+   randomness must already be bound into ``payload``/``tasks`` by the
+   caller (e.g. per-trial seeds drawn serially before dispatch).
+2. **Unpicklable shared state.** Datasets carry model-builder closures and
+   cannot cross a pickle boundary. The payload therefore travels to
+   workers by *fork inheritance*: it is parked in a module-level slot just
+   before the pool forks, and workers read their inherited copy. Only the
+   per-task argument and the per-task result are pickled, so ``fn`` must
+   return plain data (arrays, dicts, numbers).
+3. **Graceful degradation.** On platforms without ``fork``, with a single
+   worker, with a single task, or when already inside a worker process,
+   ``map`` silently runs serially — same results, no surprises.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from typing import Any, Callable, List, Optional, Sequence
+
+# Fork-inherited slot: (fn, payload) for the map() currently in flight.
+# Workers fork after this is set and read their copy-on-write view; the
+# parent clears it as soon as the pool is done.
+_PAYLOAD: Any = None
+
+# Set in worker processes so nested map() calls degrade to serial instead
+# of forking pools from inside pool workers.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def _invoke(task: Any) -> Any:
+    fn, payload = _PAYLOAD
+    return fn(payload, task)
+
+
+def fork_available() -> bool:
+    """Whether the fork start method (required for unpicklable payloads)
+    exists on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (else: one per CPU)."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(f"REPRO_WORKERS must be an integer, got {env!r}") from None
+    return max(1, os.cpu_count() or 1)
+
+
+class TrialExecutor:
+    """Interface: ordered parallel map with a fork-shared payload."""
+
+    n_workers: int = 1
+
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Sequence[Any],
+        payload: Any = None,
+    ) -> List[Any]:
+        """Return ``[fn(payload, task) for task in tasks]`` (order kept)."""
+        raise NotImplementedError
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process reference implementation."""
+
+    def map(self, fn, tasks, payload=None):
+        return [fn(payload, task) for task in tasks]
+
+
+class ProcessExecutor(TrialExecutor):
+    """Fork-based process-pool executor.
+
+    A fresh pool is created per :meth:`map` call so each fork snapshots
+    the current payload; worker startup is cheap under copy-on-write.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None):
+        self.n_workers = n_workers if n_workers is not None else default_workers()
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+
+    def map(self, fn, tasks, payload=None):
+        tasks = list(tasks)
+        if (
+            len(tasks) <= 1
+            or self.n_workers <= 1
+            or _IN_WORKER
+            or not fork_available()
+        ):
+            return SerialExecutor().map(fn, tasks, payload)
+        global _PAYLOAD
+        _PAYLOAD = (fn, payload)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            workers = min(self.n_workers, len(tasks))
+            chunksize = max(1, len(tasks) // (workers * 4))
+            with _PoolExecutor(
+                max_workers=workers, mp_context=ctx, initializer=_mark_worker
+            ) as pool:
+                return list(pool.map(_invoke, tasks, chunksize=chunksize))
+        finally:
+            _PAYLOAD = None
+
+
+def make_executor(n_workers: Optional[int] = None) -> TrialExecutor:
+    """Build the right executor for ``n_workers``.
+
+    ``None`` resolves via :func:`default_workers` (``REPRO_WORKERS`` or the
+    CPU count); a resolved count of 1 yields a :class:`SerialExecutor`.
+    """
+    workers = n_workers if n_workers is not None else default_workers()
+    if workers <= 1 or not fork_available():
+        return SerialExecutor()
+    return ProcessExecutor(workers)

@@ -1,0 +1,49 @@
+"""ParallelTrialRunner: a live federated runner with a process pool.
+
+A thin convenience over :class:`repro.core.evaluator.FederatedTrialRunner`
+that wires in a :class:`repro.engine.executor.ProcessExecutor`, so
+Hyperband rungs, random-search batches, and any other ``advance_many``
+caller fan trial training across worker processes. Results are
+bit-identical to the serial runner for the same seed — each trial's
+trainer owns its RNG stream and round-trips its state through the worker.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.evaluator import FederatedTrialRunner
+from repro.datasets.base import FederatedDataset
+from repro.engine.executor import make_executor
+from repro.utils.rng import SeedLike
+
+
+class ParallelTrialRunner(FederatedTrialRunner):
+    """A :class:`FederatedTrialRunner` whose batch API runs on a pool.
+
+    ``n_workers=None`` resolves via ``REPRO_WORKERS`` / the CPU count; a
+    resolved count of 1 (or a platform without ``fork``) degrades to the
+    plain serial runner.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        max_rounds: int,
+        clients_per_round: int = 10,
+        scheme: str = "weighted",
+        seed: SeedLike = 0,
+        n_workers: Optional[int] = None,
+    ):
+        super().__init__(
+            dataset,
+            max_rounds,
+            clients_per_round=clients_per_round,
+            scheme=scheme,
+            seed=seed,
+            executor=make_executor(n_workers),
+        )
+
+    @property
+    def n_workers(self) -> int:
+        return self.executor.n_workers

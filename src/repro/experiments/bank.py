@@ -35,6 +35,32 @@ from repro.utils.stats import weighted_mean
 BANK_ID_KEY = "_bank_id"
 
 
+def _build_config_task(payload, k: int):
+    """Train config ``k`` through every checkpoint (worker task).
+
+    ``payload`` rides fork inheritance (datasets are not picklable); the
+    per-config trainer seed was drawn serially in the parent before
+    dispatch, so results are bit-identical to the serial loop.
+    """
+    dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params = payload
+    cfg = configs[k]
+    trainer = config_to_trainer(
+        {key: v for key, v in cfg.items() if key != BANK_ID_KEY},
+        dataset,
+        clients_per_round=clients_per_round,
+        scheme=scheme,
+        seed=seeds[k],
+    )
+    errors = np.empty((len(ckpts), dataset.num_eval_clients))
+    params = np.empty((len(ckpts), trainer.params.size)) if store_params else None
+    for c, rounds in enumerate(ckpts):
+        trainer.run(rounds - trainer.rounds_completed)
+        errors[c] = trainer.eval_error_rates()
+        if store_params:
+            params[c] = trainer.params
+    return errors, params
+
+
 def checkpoint_schedule(max_rounds: int, eta: int = 3) -> List[int]:
     """η-spaced checkpoints ``[0, r_min, ..., max_rounds]`` matching SHA rungs."""
     if max_rounds < 1:
@@ -92,12 +118,18 @@ class ConfigBank:
         configs: Optional[Sequence[Dict]] = None,
         store_params: bool = False,
         checkpoints: Optional[Sequence[int]] = None,
+        executor=None,
     ) -> "ConfigBank":
         """Train the config pool and record checkpointed evaluations.
 
         ``configs`` overrides the random pool — pass the same list when
         building banks for several datasets so cross-dataset comparisons
         refer to identical configurations.
+
+        ``executor`` (see :mod:`repro.engine.executor`) fans the per-config
+        training across worker processes. Configs are independent and every
+        trainer seed is drawn serially before dispatch, so the parallel
+        build is bit-identical to the serial one.
         """
         rng = as_rng(seed)
         if configs is None:
@@ -114,25 +146,24 @@ class ConfigBank:
         if ckpts[0] != 0 or ckpts[-1] != max_rounds or ckpts != sorted(set(ckpts)):
             raise ValueError(f"checkpoints must be sorted unique [0..{max_rounds}], got {ckpts}")
 
+        if executor is None:
+            from repro.engine.executor import SerialExecutor
+
+            executor = SerialExecutor()
         n_clients = dataset.num_eval_clients
+        # Trainer seeds are drawn serially (one rng stream, config order)
+        # regardless of how the training is executed.
+        seeds = [int(rng.integers(0, 2**63 - 1)) for _ in configs]
+        payload = (dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params)
+        results = executor.map(_build_config_task, range(n_configs), payload=payload)
         errors = np.empty((n_configs, len(ckpts), n_clients))
         params_store = None
-        for k, cfg in enumerate(configs):
-            trainer_seed = int(rng.integers(0, 2**63 - 1))
-            trainer = config_to_trainer(
-                {key: v for key, v in cfg.items() if key != BANK_ID_KEY},
-                dataset,
-                clients_per_round=clients_per_round,
-                scheme=scheme,
-                seed=trainer_seed,
-            )
-            if store_params and params_store is None:
-                params_store = np.empty((n_configs, len(ckpts), trainer.params.size))
-            for c, rounds in enumerate(ckpts):
-                trainer.run(rounds - trainer.rounds_completed)
-                errors[k, c] = trainer.eval_error_rates()
-                if store_params:
-                    params_store[k, c] = trainer.params
+        for k, (cfg_errors, cfg_params) in enumerate(results):
+            errors[k] = cfg_errors
+            if store_params:
+                if params_store is None:
+                    params_store = np.empty((n_configs, len(ckpts), cfg_params.shape[1]))
+                params_store[k] = cfg_params
         return cls(
             dataset_name=dataset.name,
             configs=configs,
@@ -166,8 +197,15 @@ class ConfigBank:
         return int(np.searchsorted(self.checkpoints, rounds, side="right") - 1)
 
     def error_rates(self, config_id: int, rounds: int) -> np.ndarray:
-        """Per-client error rates of config ``config_id`` at ``rounds``."""
-        return self.errors[config_id, self.checkpoint_index(rounds)]
+        """Per-client error rates of config ``config_id`` at ``rounds``.
+
+        The returned array is a read-only view: it aliases the bank's
+        error tensor, and a caller mutating it would silently corrupt
+        every later lookup of the same checkpoint.
+        """
+        view = self.errors[config_id, self.checkpoint_index(rounds)]
+        view.flags.writeable = False
+        return view
 
     def full_errors(self, scheme: str = "weighted", rounds: Optional[int] = None) -> np.ndarray:
         """Full-pool error of every config at ``rounds`` (default: final)."""

@@ -107,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trials", type=int, default=20, help="bootstrap trials per sweep point")
     parser.add_argument("--bank-configs", type=int, default=32, help="config pool size")
     parser.add_argument("--out", default=None, help="write records to this JSON file")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="disk cache for built config banks (default: $REPRO_BANK_CACHE)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for bank builds (default: $REPRO_WORKERS, else serial)",
+    )
     return parser
 
 
@@ -120,7 +131,11 @@ def main(argv: List[str] = None) -> int:
         return 2
     runner, columns = _ARTIFACTS[args.artifact]
     ctx = ExperimentContext(
-        preset=args.preset, seed=args.seed, n_bank_configs=args.bank_configs
+        preset=args.preset,
+        seed=args.seed,
+        n_bank_configs=args.bank_configs,
+        cache_dir=args.cache_dir,
+        n_workers=args.workers,
     )
     records = runner(ctx, args.trials)
     print(format_table(records, columns, title=f"{args.artifact} ({args.preset} preset)"))

@@ -9,6 +9,7 @@ across all four datasets so that cross-dataset experiments (Figures 10-12,
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -18,6 +19,12 @@ from repro.core.search_space import SearchSpace, paper_space
 from repro.datasets.registry import DATASET_NAMES, DatasetScale, get_scale, load_dataset
 from repro.experiments.bank import ConfigBank
 from repro.utils.rng import RngFactory
+
+# Environment defaults for the execution engine (see repro.engine):
+# REPRO_BANK_CACHE — directory for the disk-backed bank store.
+# REPRO_WORKERS — worker-process count for parallel bank builds.
+CACHE_ENV_VAR = "REPRO_BANK_CACHE"
+WORKERS_ENV_VAR = "REPRO_WORKERS"
 
 # Client batch-size choices scale with per-client dataset size so the
 # batch-size HP stays meaningful at every preset.
@@ -47,6 +54,13 @@ class ExperimentContext:
     seed : root seed; every dataset, bank, and trial stream derives from it.
     n_bank_configs : size of the shared config pool (paper: 128).
     clients_per_round : training cohort size (paper: 10).
+    cache_dir : directory for the disk-backed :class:`BankStore`; banks
+        built here are memoized on disk and shared across processes and
+        sessions. Defaults to ``$REPRO_BANK_CACHE`` (no disk cache when
+        unset — parallelism and caching never change results, but opting
+        in is explicit).
+    n_workers : worker processes for bank builds (``$REPRO_WORKERS`` when
+        unset; both unset means serial).
     """
 
     def __init__(
@@ -56,7 +70,12 @@ class ExperimentContext:
         n_bank_configs: int = 32,
         clients_per_round: int = 10,
         eta: int = 3,
+        cache_dir: Optional[str] = None,
+        n_workers: Optional[int] = None,
     ):
+        from repro.engine.bank_store import BankStore
+        from repro.engine.executor import SerialExecutor, make_executor
+
         self.preset = preset
         self.scale: DatasetScale = get_scale(preset)
         self.seed = seed
@@ -69,6 +88,13 @@ class ExperimentContext:
         self.shared_configs = [self.space.sample(shared_rng) for _ in range(n_bank_configs)]
         self._datasets: Dict[str, object] = {}
         self._banks: Dict[Tuple[str, bool], ConfigBank] = {}
+        if cache_dir is None:
+            cache_dir = os.environ.get(CACHE_ENV_VAR) or None
+        self.bank_store = BankStore(cache_dir) if cache_dir else None
+        if n_workers is None and not os.environ.get(WORKERS_ENV_VAR):
+            self.executor = SerialExecutor()
+        else:
+            self.executor = make_executor(n_workers)
 
     @property
     def max_rounds(self) -> int:
@@ -108,6 +134,25 @@ class ExperimentContext:
         return self._banks[key_without]
 
     def _build_bank(self, name: str, store_params: bool) -> ConfigBank:
+        if self.bank_store is None:
+            return self._train_bank(name, store_params)
+        from repro.engine.bank_store import BankStore
+
+        fields = BankStore.key_fields(
+            dataset=name,
+            preset=self.preset,
+            seed=self.seed,
+            n_configs=self.n_bank_configs,
+            max_rounds=self.max_rounds,
+            eta=self.eta,
+            clients_per_round=self.clients_per_round,
+            store_params=store_params,
+        )
+        return self.bank_store.get_or_build(
+            fields, lambda: self._train_bank(name, store_params)
+        )
+
+    def _train_bank(self, name: str, store_params: bool) -> ConfigBank:
         return ConfigBank.build(
             self.dataset(name),
             self.space,
@@ -118,6 +163,7 @@ class ExperimentContext:
             seed=self.rngs.make(f"bank-{name}"),
             configs=self.shared_configs,
             store_params=store_params,
+            executor=self.executor,
         )
 
     def grid(self, name: str) -> List[int]:

@@ -17,6 +17,13 @@ import numpy as np
 class ServerOptimizer:
     """Base class: stateful update rule on flat parameter vectors."""
 
+    # Mutable attributes that fully determine future updates; subclasses
+    # extend this to cover their moment buffers. state_dict()/
+    # load_state_dict() round-trip exactly these, which is what lets a
+    # trainer advanced in a worker process resume bit-identically in the
+    # parent (see repro.engine).
+    _STATE_ATTRS = ("_t",)
+
     def __init__(self, lr: float, lr_decay: float = 1.0):
         if lr <= 0:
             raise ValueError(f"server lr must be positive, got {lr}")
@@ -25,6 +32,20 @@ class ServerOptimizer:
         self.base_lr = lr
         self.lr_decay = lr_decay
         self._t = 0
+
+    def state_dict(self) -> dict:
+        """Copy of all mutable optimizer state."""
+        out = {}
+        for name in self._STATE_ATTRS:
+            value = getattr(self, name)
+            out[name] = value.copy() if isinstance(value, np.ndarray) else value
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        for name in self._STATE_ATTRS:
+            value = state[name]
+            setattr(self, name, value.copy() if isinstance(value, np.ndarray) else value)
 
     @property
     def current_lr(self) -> float:
@@ -59,6 +80,8 @@ class FedAvg(ServerOptimizer):
 class FedAvgM(ServerOptimizer):
     """Server SGD with momentum (FedAvgM, Hsu et al. 2019)."""
 
+    _STATE_ATTRS = ("_t", "_velocity")
+
     def __init__(self, lr: float = 1.0, momentum: float = 0.9, lr_decay: float = 1.0):
         super().__init__(lr, lr_decay)
         if not 0.0 <= momentum < 1.0:
@@ -75,6 +98,8 @@ class FedAvgM(ServerOptimizer):
 
 class _AdaptiveServerOptimizer(ServerOptimizer):
     """Shared moment bookkeeping for FedAdagrad / FedAdam / FedYogi."""
+
+    _STATE_ATTRS = ("_t", "_m", "_v")
 
     def __init__(
         self,

@@ -132,6 +132,30 @@ class FederatedTrainer:
             self.run_round()
         return self
 
+    # -- state transport ----------------------------------------------------
+    def state_dict(self) -> dict:
+        """All mutable training state, as plain picklable data.
+
+        Everything a resumed :meth:`run` depends on flows from these four
+        pieces (the model itself is a pure function of ``params``), so
+        loading them into an identically-constructed trainer continues
+        training bit-identically — the contract the parallel engine's
+        worker round-trip relies on.
+        """
+        return {
+            "params": self.params.copy(),
+            "rng_state": self._rng.bit_generator.state,
+            "server_opt": self.server_opt.state_dict(),
+            "rounds_completed": self.rounds_completed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.params = np.asarray(state["params"], dtype=np.float64).copy()
+        self._rng.bit_generator.state = state["rng_state"]
+        self.server_opt.load_state_dict(state["server_opt"])
+        self.rounds_completed = int(state["rounds_completed"])
+
     # -- evaluation conveniences --------------------------------------------
     def eval_error_rates(self) -> np.ndarray:
         """Per-validation-client error rates of the current global model."""

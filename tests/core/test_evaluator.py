@@ -104,3 +104,31 @@ class TestFederatedTrialRunner:
     def test_eval_weights_delegates_to_dataset(self, cifar):
         runner = FederatedTrialRunner(cifar, max_rounds=3, seed=0)
         assert np.array_equal(runner.eval_weights("uniform"), np.ones(cifar.num_eval_clients))
+
+    def test_error_rates_cache_cannot_be_corrupted(self, cifar):
+        """Regression: error_rates used to return the cached array
+        writeable, so a caller mutating it corrupted every later
+        full_error read of the same trial."""
+        runner = FederatedTrialRunner(cifar, max_rounds=3, seed=0)
+        trial = runner.create(sample_config())
+        runner.advance(trial, 3)
+        rates = runner.error_rates(trial)
+        before = runner.full_error(trial)
+        with pytest.raises((ValueError, RuntimeError)):
+            rates[:] = 0.0  # read-only: the would-be corruption is refused
+        assert runner.full_error(trial) == pytest.approx(before)
+
+    def test_advance_many_matches_serial_advance(self, cifar):
+        serial = FederatedTrialRunner(cifar, max_rounds=4, seed=9)
+        batched = FederatedTrialRunner(cifar, max_rounds=4, seed=9)
+        cfgs = [sample_config(s) for s in range(3)]
+        ts = [serial.create(c) for c in cfgs]
+        tb = [batched.create(c) for c in cfgs]
+        requests = [2, 9, 0]
+        consumed_serial = [serial.advance(t, r) for t, r in zip(ts, requests)]
+        consumed_batched = batched.advance_many(list(zip(tb, requests)))
+        assert consumed_batched == consumed_serial
+        assert batched.rounds_used == serial.rounds_used
+        for a, b in zip(ts, tb):
+            assert a.rounds == b.rounds
+            assert np.array_equal(serial.error_rates(a), batched.error_rates(b))

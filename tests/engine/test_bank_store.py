@@ -1,0 +1,125 @@
+"""Tests for the disk-backed bank store: exact round-trips and the
+invalidate-on-any-key-change contract."""
+
+import numpy as np
+import pytest
+
+from repro.engine.bank_store import BankStore
+from repro.experiments.bank import BANK_ID_KEY, ConfigBank
+
+
+def make_bank(seed=0, n_configs=4, n_clients=6, with_params=False):
+    """A synthetic bank (no training needed) with full float64 entropy."""
+    rng = np.random.default_rng(seed)
+    checkpoints = [0, 1, 3, 9]
+    configs = [
+        {"server_lr": float(rng.uniform(1e-6, 1e-1)), "batch_size": 8, BANK_ID_KEY: i}
+        for i in range(n_configs)
+    ]
+    return ConfigBank(
+        dataset_name="synthetic",
+        configs=configs,
+        checkpoints=checkpoints,
+        errors=rng.random((n_configs, len(checkpoints), n_clients)),
+        weights_weighted=rng.integers(1, 50, size=n_clients).astype(np.float64),
+        weights_uniform=np.ones(n_clients),
+        params=rng.standard_normal((n_configs, len(checkpoints), 11)) if with_params else None,
+    )
+
+
+FIELDS = dict(
+    dataset="synthetic", preset="test", seed=0, n_configs=4, max_rounds=9
+)
+
+
+class TestRoundTrip:
+    def test_miss_on_empty_store(self, tmp_path):
+        assert BankStore(tmp_path).get(FIELDS) is None
+
+    def test_round_trip_bit_exact(self, tmp_path):
+        store = BankStore(tmp_path)
+        bank = make_bank()
+        store.put(FIELDS, bank)
+        loaded = store.get(FIELDS)
+        assert np.array_equal(loaded.errors, bank.errors)
+        assert np.array_equal(loaded.weights_weighted, bank.weights_weighted)
+        assert np.array_equal(loaded.weights_uniform, bank.weights_uniform)
+        assert loaded.checkpoints == bank.checkpoints
+        assert loaded.configs == bank.configs
+        assert loaded.dataset_name == bank.dataset_name
+        assert loaded.params is None
+
+    def test_round_trip_preserves_params(self, tmp_path):
+        store = BankStore(tmp_path)
+        bank = make_bank(with_params=True)
+        store.put(FIELDS, bank)
+        assert np.array_equal(store.get(FIELDS).params, bank.params)
+
+    def test_put_overwrites_atomically(self, tmp_path):
+        store = BankStore(tmp_path)
+        store.put(FIELDS, make_bank(seed=1))
+        store.put(FIELDS, make_bank(seed=2))
+        assert len(store) == 1
+        assert np.array_equal(store.get(FIELDS).errors, make_bank(seed=2).errors)
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        store = BankStore(tmp_path)
+        path = store.path_for(FIELDS)
+        with open(path, "wb") as f:
+            f.write(b"not an npz file")
+        assert store.get(FIELDS) is None
+
+
+class TestKeyContract:
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"dataset": "other"},
+            {"preset": "small"},
+            {"seed": 1},
+            {"n_configs": 5},
+            {"max_rounds": 27},
+        ],
+    )
+    def test_any_key_change_invalidates(self, tmp_path, change):
+        store = BankStore(tmp_path)
+        store.put(FIELDS, make_bank())
+        assert store.get(dict(FIELDS, **change)) is None
+
+    def test_extra_fields_join_the_key(self, tmp_path):
+        store = BankStore(tmp_path)
+        with_extras = BankStore.key_fields(
+            "synthetic", "test", 0, 4, 9, eta=3, store_params=False
+        )
+        store.put(with_extras, make_bank())
+        assert store.get(with_extras) is not None
+        assert store.get(dict(with_extras, eta=2)) is None
+        assert store.get(dict(with_extras, store_params=True)) is None
+
+    def test_canonical_key_order_independent(self):
+        a = BankStore.canonical_key({"x": 1, "y": 2})
+        b = BankStore.canonical_key({"y": 2, "x": 1})
+        assert a == b
+
+
+class TestGetOrBuild:
+    def test_builds_once_then_hits(self, tmp_path):
+        store = BankStore(tmp_path)
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return make_bank()
+
+        first = store.get_or_build(FIELDS, builder)
+        second = store.get_or_build(FIELDS, builder)
+        assert len(calls) == 1
+        assert np.array_equal(first.errors, second.errors)
+
+    def test_clear(self, tmp_path):
+        store = BankStore(tmp_path)
+        store.put(FIELDS, make_bank())
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.get(FIELDS) is None

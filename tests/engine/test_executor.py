@@ -1,0 +1,105 @@
+"""Tests for the process-pool execution primitive."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.engine.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    default_workers,
+    fork_available,
+    make_executor,
+)
+
+
+def _square(payload, task):
+    return task * task
+
+
+def _with_payload(payload, task):
+    return payload["base"] + task
+
+
+def _pid(payload, task):
+    return os.getpid()
+
+
+class TestSerialExecutor:
+    def test_maps_in_order(self):
+        out = SerialExecutor().map(_square, [3, 1, 2])
+        assert out == [9, 1, 4]
+
+    def test_payload_passed(self):
+        out = SerialExecutor().map(_with_payload, [1, 2], payload={"base": 10})
+        assert out == [11, 12]
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().map(_square, []) == []
+
+
+class TestProcessExecutor:
+    def test_results_match_serial(self):
+        tasks = list(range(20))
+        serial = SerialExecutor().map(_square, tasks)
+        parallel = ProcessExecutor(2).map(_square, tasks)
+        assert parallel == serial
+
+    def test_order_preserved_with_payload(self):
+        tasks = list(range(17))
+        out = ProcessExecutor(3).map(_with_payload, tasks, payload={"base": 100})
+        assert out == [100 + t for t in tasks]
+
+    def test_unpicklable_payload_rides_fork(self):
+        # Closures cannot cross a pickle boundary; the payload must not.
+        big = {"fn": lambda x: x + 1, "arr": np.arange(5)}
+
+        out = ProcessExecutor(2).map(_payload_arr_sum, [0, 1, 2], payload=big)
+        assert out == [10.0, 10.0, 10.0]
+
+    def test_single_task_runs_serial(self):
+        assert ProcessExecutor(4).map(_square, [5]) == [25]
+
+    def test_single_worker_runs_serial(self):
+        assert ProcessExecutor(1).map(_square, [2, 3]) == [4, 9]
+
+    @pytest.mark.skipif(not fork_available(), reason="needs fork")
+    def test_runs_in_distinct_processes(self):
+        pids = set(ProcessExecutor(2).map(_pid, list(range(8))))
+        assert os.getpid() not in pids
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessExecutor(0)
+
+
+def _payload_arr_sum(payload, task):
+    return float(payload["arr"].sum())
+
+
+class TestMakeExecutor:
+    def test_one_worker_is_serial(self):
+        assert isinstance(make_executor(1), SerialExecutor)
+
+    def test_many_workers_is_process(self):
+        ex = make_executor(4)
+        if fork_available():
+            assert isinstance(ex, ProcessExecutor)
+            assert ex.n_workers == 4
+        else:
+            assert isinstance(ex, SerialExecutor)
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert default_workers() == 7
+        monkeypatch.setenv("REPRO_WORKERS", "not-a-number")
+        with pytest.raises(ValueError):
+            default_workers()
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1
+
+    def test_interface_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            TrialExecutor().map(_square, [1])

@@ -161,6 +161,18 @@ class TestBankTrialRunner:
         expected = float(small_bank.errors[1, -1] @ (w / w.sum()))
         assert runner.full_error(trial) == pytest.approx(expected)
 
+    def test_error_rates_view_is_read_only(self, small_bank):
+        """Regression: the runner returns a view into the bank's error
+        tensor; a writeable view would let callers corrupt the bank."""
+        runner = BankTrialRunner(small_bank)
+        trial = runner.create(dict(small_bank.configs[2]))
+        runner.advance(trial, 9)
+        rates = runner.error_rates(trial)
+        original = small_bank.errors[2, -1].copy()
+        with pytest.raises((ValueError, RuntimeError)):
+            rates += 1.0
+        assert np.array_equal(small_bank.errors[2, -1], original)
+
     def test_config_source_bootstraps_with_replacement(self, small_bank):
         rng = np.random.default_rng(0)
         source = bank_config_source(small_bank, rng)

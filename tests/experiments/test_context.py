@@ -57,3 +57,62 @@ class TestExperimentContext:
 
     def test_grid(self, ctx):
         assert ctx.grid("cifar10") == [1, 3, 9, 10]
+
+
+class TestContextBankStore:
+    def make_ctx(self, tmp_path, **kwargs):
+        return ExperimentContext(
+            preset="test",
+            seed=0,
+            n_bank_configs=3,
+            cache_dir=str(tmp_path),
+            **kwargs,
+        )
+
+    def test_second_context_hits_disk_cache(self, tmp_path, monkeypatch):
+        from repro.experiments import bank as bank_mod
+
+        builds = []
+        original = bank_mod.ConfigBank.build.__func__
+
+        def counting_build(cls, *args, **kwargs):
+            builds.append(1)
+            return original(cls, *args, **kwargs)
+
+        monkeypatch.setattr(
+            bank_mod.ConfigBank, "build", classmethod(counting_build)
+        )
+        first = self.make_ctx(tmp_path).bank("cifar10")
+        assert builds == [1]
+        # A fresh context with identical keys must load, not rebuild.
+        second = self.make_ctx(tmp_path).bank("cifar10")
+        assert builds == [1]
+        assert np.array_equal(first.errors, second.errors)
+        assert first.configs == second.configs
+
+    def test_key_change_rebuilds(self, tmp_path):
+        self.make_ctx(tmp_path).bank("cifar10")
+        store = self.make_ctx(tmp_path).bank_store
+        assert len(store) == 1
+        ExperimentContext(
+            preset="test", seed=1, n_bank_configs=3, cache_dir=str(tmp_path)
+        ).bank("cifar10")
+        assert len(store) == 2
+
+    def test_store_params_variant_is_separate_key(self, tmp_path):
+        ctx = self.make_ctx(tmp_path)
+        ctx.bank("cifar10")
+        ctx2 = self.make_ctx(tmp_path)
+        with_params = ctx2.bank("cifar10", store_params=True)
+        assert with_params.params is not None
+        assert len(ctx2.bank_store) == 2
+
+    def test_no_cache_dir_means_no_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BANK_CACHE", raising=False)
+        assert ExperimentContext(preset="test", n_bank_configs=3).bank_store is None
+
+    def test_cache_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BANK_CACHE", str(tmp_path))
+        ctx = ExperimentContext(preset="test", n_bank_configs=3)
+        assert ctx.bank_store is not None
+        assert ctx.bank_store.cache_dir == str(tmp_path)

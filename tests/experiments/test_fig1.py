@@ -2,6 +2,9 @@
 
 import pytest
 
+# Live method comparison: slow tier.
+pytestmark = pytest.mark.slow
+
 from repro.experiments import run_figure1, run_method_comparison
 
 

@@ -4,6 +4,9 @@ qualitative shapes (Appendix E.6) at unit-test scale."""
 import numpy as np
 import pytest
 
+# Full figure pipelines (bank builds + many bootstrap trials): slow tier.
+pytestmark = pytest.mark.slow
+
 from repro.experiments import (
     bars_at_budget,
     curve_medians,

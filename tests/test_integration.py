@@ -3,6 +3,9 @@
 import numpy as np
 import pytest
 
+# Live training end-to-end: slow tier (run with -m "slow or not slow").
+pytestmark = pytest.mark.slow
+
 from repro.core import (
     BOHB,
     FederatedTrialRunner,
