@@ -56,6 +56,12 @@ def main() -> None:
         default=None,
         help="worker processes for bank builds (default: $REPRO_WORKERS)",
     )
+    parser.add_argument(
+        "--cohort-mode",
+        choices=("serial", "vectorized"),
+        default=None,
+        help="lockstep vs per-client cohort training (default: $REPRO_COHORT_VECTOR)",
+    )
     args = parser.parse_args()
 
     if args.out_dir:
@@ -67,6 +73,7 @@ def main() -> None:
         n_bank_configs=args.bank_configs,
         cache_dir=args.cache_dir,
         n_workers=args.workers,
+        cohort_mode=args.cohort_mode,
     )
     t_start = time.time()
     for artifact in ORDER:

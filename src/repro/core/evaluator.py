@@ -26,6 +26,7 @@ def config_to_trainer(
     clients_per_round: int = 10,
     scheme: str = "weighted",
     seed: SeedLike = 0,
+    cohort_mode: Optional[str] = None,
 ) -> FederatedTrainer:
     """Instantiate a :class:`FederatedTrainer` from a paper-space config."""
     server_opt = FedAdam(
@@ -48,6 +49,7 @@ def config_to_trainer(
         clients_per_round=clients_per_round,
         scheme=scheme,
         seed=seed,
+        cohort_mode=cohort_mode,
     )
 
 
@@ -162,12 +164,14 @@ class FederatedTrialRunner(TrialRunner):
         scheme: str = "weighted",
         seed: SeedLike = 0,
         executor=None,
+        cohort_mode: Optional[str] = None,
     ):
         super().__init__(max_rounds)
         self.dataset = dataset
         self.clients_per_round = clients_per_round
         self.scheme = scheme
         self.executor = executor
+        self.cohort_mode = cohort_mode
         self._seed_rng = as_rng(seed)
         self._rates_cache: Dict[int, tuple] = {}
 
@@ -179,6 +183,7 @@ class FederatedTrialRunner(TrialRunner):
             clients_per_round=self.clients_per_round,
             scheme=self.scheme,
             seed=trial_seed,
+            cohort_mode=self.cohort_mode,
         )
 
     def _advance_trial(self, trial: Trial, rounds: int) -> None:

@@ -34,6 +34,7 @@ class ParallelTrialRunner(FederatedTrialRunner):
         scheme: str = "weighted",
         seed: SeedLike = 0,
         n_workers: Optional[int] = None,
+        cohort_mode: Optional[str] = None,
     ):
         super().__init__(
             dataset,
@@ -42,6 +43,7 @@ class ParallelTrialRunner(FederatedTrialRunner):
             scheme=scheme,
             seed=seed,
             executor=make_executor(n_workers),
+            cohort_mode=cohort_mode,
         )
 
     @property

@@ -42,7 +42,7 @@ def _build_config_task(payload, k: int):
     per-config trainer seed was drawn serially in the parent before
     dispatch, so results are bit-identical to the serial loop.
     """
-    dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params = payload
+    dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_mode = payload
     cfg = configs[k]
     trainer = config_to_trainer(
         {key: v for key, v in cfg.items() if key != BANK_ID_KEY},
@@ -50,6 +50,7 @@ def _build_config_task(payload, k: int):
         clients_per_round=clients_per_round,
         scheme=scheme,
         seed=seeds[k],
+        cohort_mode=cohort_mode,
     )
     errors = np.empty((len(ckpts), dataset.num_eval_clients))
     params = np.empty((len(ckpts), trainer.params.size)) if store_params else None
@@ -119,6 +120,7 @@ class ConfigBank:
         store_params: bool = False,
         checkpoints: Optional[Sequence[int]] = None,
         executor=None,
+        cohort_mode: Optional[str] = None,
     ) -> "ConfigBank":
         """Train the config pool and record checkpointed evaluations.
 
@@ -130,6 +132,10 @@ class ConfigBank:
         training across worker processes. Configs are independent and every
         trainer seed is drawn serially before dispatch, so the parallel
         build is bit-identical to the serial one.
+
+        ``cohort_mode`` selects per-trainer cohort training ("vectorized"
+        lockstep slabs vs "serial" per-client loops; ``None`` resolves from
+        ``$REPRO_COHORT_VECTOR``) — see :mod:`repro.fl.cohort`.
         """
         rng = as_rng(seed)
         if configs is None:
@@ -154,7 +160,9 @@ class ConfigBank:
         # Trainer seeds are drawn serially (one rng stream, config order)
         # regardless of how the training is executed.
         seeds = [int(rng.integers(0, 2**63 - 1)) for _ in configs]
-        payload = (dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params)
+        payload = (
+            dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_mode,
+        )
         results = executor.map(_build_config_task, range(n_configs), payload=payload)
         errors = np.empty((n_configs, len(ckpts), n_clients))
         params_store = None

@@ -118,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker processes for bank builds (default: $REPRO_WORKERS, else serial)",
     )
+    parser.add_argument(
+        "--cohort-mode",
+        choices=("serial", "vectorized"),
+        default=None,
+        help=(
+            "per-round cohort training path: 'vectorized' lockstep slabs or "
+            "'serial' per-client loops (default: $REPRO_COHORT_VECTOR, else serial)"
+        ),
+    )
     return parser
 
 
@@ -136,6 +145,7 @@ def main(argv: List[str] = None) -> int:
         n_bank_configs=args.bank_configs,
         cache_dir=args.cache_dir,
         n_workers=args.workers,
+        cohort_mode=args.cohort_mode,
     )
     records = runner(ctx, args.trials)
     print(format_table(records, columns, title=f"{args.artifact} ({args.preset} preset)"))

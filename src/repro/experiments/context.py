@@ -23,6 +23,7 @@ from repro.utils.rng import RngFactory
 # Environment defaults for the execution engine (see repro.engine):
 # REPRO_BANK_CACHE — directory for the disk-backed bank store.
 # REPRO_WORKERS — worker-process count for parallel bank builds.
+# REPRO_COHORT_VECTOR — vectorized lockstep cohort training (repro.fl.cohort).
 CACHE_ENV_VAR = "REPRO_BANK_CACHE"
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 
@@ -61,6 +62,11 @@ class ExperimentContext:
         in is explicit).
     n_workers : worker processes for bank builds (``$REPRO_WORKERS`` when
         unset; both unset means serial).
+    cohort_mode : "vectorized" or "serial" per-round cohort training for
+        every trainer this context builds (``$REPRO_COHORT_VECTOR`` when
+        unset; see :mod:`repro.fl.cohort`). Part of the bank-store cache
+        key when vectorized, since lockstep padding can perturb results at
+        float tolerance.
     """
 
     def __init__(
@@ -72,9 +78,11 @@ class ExperimentContext:
         eta: int = 3,
         cache_dir: Optional[str] = None,
         n_workers: Optional[int] = None,
+        cohort_mode: Optional[str] = None,
     ):
         from repro.engine.bank_store import BankStore
         from repro.engine.executor import SerialExecutor, make_executor
+        from repro.fl.cohort import resolve_cohort_mode
 
         self.preset = preset
         self.scale: DatasetScale = get_scale(preset)
@@ -82,6 +90,7 @@ class ExperimentContext:
         self.n_bank_configs = n_bank_configs
         self.clients_per_round = clients_per_round
         self.eta = eta
+        self.cohort_mode = resolve_cohort_mode(cohort_mode)
         self.rngs = RngFactory(seed)
         self.space: SearchSpace = paper_space(batch_sizes=BATCH_CHOICES[preset])
         shared_rng = self.rngs.make("shared-configs")
@@ -138,6 +147,11 @@ class ExperimentContext:
             return self._train_bank(name, store_params)
         from repro.engine.bank_store import BankStore
 
+        extra = {}
+        if self.cohort_mode != "serial":
+            # Serial keys stay unchanged (pre-vectorization caches remain
+            # valid); vectorized builds get their own cache entries.
+            extra["cohort_mode"] = self.cohort_mode
         fields = BankStore.key_fields(
             dataset=name,
             preset=self.preset,
@@ -147,6 +161,7 @@ class ExperimentContext:
             eta=self.eta,
             clients_per_round=self.clients_per_round,
             store_params=store_params,
+            **extra,
         )
         return self.bank_store.get_or_build(
             fields, lambda: self._train_bank(name, store_params)
@@ -164,6 +179,7 @@ class ExperimentContext:
             configs=self.shared_configs,
             store_params=store_params,
             executor=self.executor,
+            cohort_mode=self.cohort_mode,
         )
 
     def grid(self, name: str) -> List[int]:

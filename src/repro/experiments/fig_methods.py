@@ -79,6 +79,7 @@ def make_tuner(
         clients_per_round=ctx.clients_per_round,
         scheme=noise.scheme,
         seed=seed,
+        cohort_mode=ctx.cohort_mode,
     )
     budget = total_budget if total_budget is not None else ctx.total_budget
     cls = METHODS[method]

@@ -8,6 +8,7 @@ Reddi et al. 2020) to the pseudo-gradient.
 """
 
 from repro.fl.client import ClientTrainer, evaluate_client
+from repro.fl.cohort import COHORT_VECTOR_ENV, CohortTrainer, resolve_cohort_mode
 from repro.fl.server import (
     FedAdagrad,
     FedAdam,
@@ -29,6 +30,9 @@ from repro.fl.evaluation import (
 __all__ = [
     "ClientTrainer",
     "evaluate_client",
+    "CohortTrainer",
+    "COHORT_VECTOR_ENV",
+    "resolve_cohort_mode",
     "ServerOptimizer",
     "FedAvg",
     "FedAvgM",

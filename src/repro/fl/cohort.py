@@ -1,0 +1,255 @@
+"""Vectorized cohort training: all clients of a round in lockstep.
+
+:class:`repro.fl.trainer.FederatedTrainer.run_round` historically trained
+its cohort one client at a time through :class:`~repro.fl.client.ClientTrainer`
+— hundreds of small-array layer calls per round. :class:`CohortTrainer`
+replaces that loop with lockstep SGD over a :class:`~repro.nn.stacked.StackedModel`:
+every client's parameters live in one ``(C, P)`` slab, every local step is
+one batched forward/backward over a ``(C, B, ...)`` stacked batch, and the
+optimizer update is one fused whole-slab call
+(:func:`repro.nn.optim.fused_sgd_step`).
+
+Equivalence contract (asserted in ``tests/fl/test_cohort.py``):
+
+- **RNG stream.** Batch permutations are pre-drawn from the shared trainer
+  RNG in exactly the order the serial loop draws them (client by client,
+  epoch by epoch; local training consumes no other draws), so the
+  generator's end state is identical to the serial path's.
+- **Trajectories.** Per-step, per-client math matches the serial
+  :class:`~repro.fl.client.ClientTrainer` kernel for kernel. When every
+  active client's batch at a lockstep step has equal size (no padding),
+  the round is bit-identical to serial; ragged steps pad short batches
+  with loss-masked copies of a real row, which leaves gradient *sums*
+  unchanged and perturbs only per-client reduction order (~1e-15
+  relative per round; tests assert rtol=1e-8 over few-round windows).
+- **Fallback.** Any client producing a non-finite loss mid-round aborts
+  the vectorized attempt, restores the RNG snapshot, and reports failure;
+  the caller reruns the round serially, reproducing serial semantics
+  exactly (including the diverged client's early stop and its effect on
+  later epoch permutation draws).
+
+Clients are processed sorted by local step count (stable descending), so
+finished clients retire from a shrinking *prefix* of the slab — ragged
+cohorts never pay masked no-op steps.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.base import ClientData, TaskSpec
+from repro.nn.module import Module
+from repro.nn.optim import fused_sgd_step
+from repro.nn.stacked import STACKED_LOSSES, StackedModel, supports_stacking
+
+#: Environment switch for the default cohort mode: truthy values ("1",
+#: "true", "yes", "on", "vectorized") select the vectorized path.
+COHORT_VECTOR_ENV = "REPRO_COHORT_VECTOR"
+
+COHORT_MODES = ("serial", "vectorized")
+
+
+def resolve_cohort_mode(mode: Optional[str] = None) -> str:
+    """Resolve an explicit or environment-provided cohort mode.
+
+    ``None`` consults ``$REPRO_COHORT_VECTOR`` (unset/falsy -> "serial",
+    so vectorization is opt-in, like ``REPRO_WORKERS``/``REPRO_BANK_CACHE``).
+    """
+    if mode is None:
+        raw = os.environ.get(COHORT_VECTOR_ENV, "").strip().lower()
+        return "vectorized" if raw in ("1", "true", "yes", "on", "vectorized") else "serial"
+    if mode not in COHORT_MODES:
+        raise ValueError(f"cohort_mode must be one of {COHORT_MODES}, got {mode!r}")
+    return mode
+
+
+class CohortTrainer:
+    """Lockstep local SGD for a fixed-size client cohort.
+
+    Construct via :meth:`maybe_build`, which returns ``None`` for model or
+    loss families without stacked kernels (recurrent text models, Dropout
+    models) — the caller then keeps the serial per-client path.
+
+    One instance is reused across rounds: the stacked model, its slab, the
+    velocity buffer, and the batch-assembly buffers are allocated once.
+    """
+
+    def __init__(
+        self,
+        task: TaskSpec,
+        template: Module,
+        cohort_size: int,
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        batch_size: int = 32,
+        epochs: int = 1,
+        prox_mu: float = 0.0,
+    ):
+        if cohort_size < 1:
+            raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
+        stacked_loss = STACKED_LOSSES.get(task.loss_fn)
+        if stacked_loss is None:
+            raise ValueError(f"no stacked counterpart for loss {task.loss_fn!r}")
+        self.task = task
+        self.cohort_size = cohort_size
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.prox_mu = prox_mu
+        self._loss = stacked_loss
+        self._stacked = StackedModel(template, cohort_size)
+        self._velocity = (
+            np.zeros_like(self._stacked.slab) if momentum else None
+        )
+        self._work = np.empty_like(self._stacked.slab)
+        # Batch-assembly buffers, (re)allocated lazily by example shape.
+        self._xbuf: Optional[np.ndarray] = None
+        self._ybuf: Optional[np.ndarray] = None
+        self._mbuf: Optional[np.ndarray] = None
+
+    @classmethod
+    def maybe_build(
+        cls,
+        task: TaskSpec,
+        template: Module,
+        cohort_size: int,
+        **hps,
+    ) -> Optional["CohortTrainer"]:
+        """A :class:`CohortTrainer` when the model family supports stacking,
+        else ``None`` (serial fallback)."""
+        if not supports_stacking(template) or task.loss_fn not in STACKED_LOSSES:
+            return None
+        return cls(task, template, cohort_size, **hps)
+
+    # -- internals -----------------------------------------------------------
+    def _ensure_buffers(self, x0: np.ndarray, y0: np.ndarray) -> None:
+        xshape = (self.cohort_size, self.batch_size) + x0.shape[1:]
+        if self._xbuf is None or self._xbuf.shape != xshape or self._xbuf.dtype != x0.dtype:
+            self._xbuf = np.empty(xshape, dtype=x0.dtype)
+            self._ybuf = np.empty(
+                (self.cohort_size, self.batch_size) + y0.shape[1:], dtype=y0.dtype
+            )
+            self._mbuf = np.empty((self.cohort_size, self.batch_size), dtype=np.float64)
+
+    def train_cohort(
+        self,
+        global_params: np.ndarray,
+        clients: Sequence[ClientData],
+        rng: np.random.Generator,
+        out: np.ndarray,
+    ) -> bool:
+        """Run every client's local training from ``global_params`` in lockstep.
+
+        Writes each client's updated flat parameters into ``out`` (shape
+        ``(len(clients), P)``, cohort order) and returns True. Returns
+        False — with ``rng`` restored to its entry state and ``out``
+        unspecified — when any client's loss goes non-finite; the caller
+        must then rerun the round serially.
+        """
+        n_clients = len(clients)
+        if n_clients != self.cohort_size:
+            raise ValueError(f"expected cohort of {self.cohort_size}, got {n_clients}")
+        if out.shape != (n_clients, self._stacked.n_params):
+            raise ValueError(
+                f"out must be {(n_clients, self._stacked.n_params)}, got {out.shape}"
+            )
+        rng_snapshot = rng.bit_generator.state
+        bsz, epochs = self.batch_size, self.epochs
+        # Pre-draw batch permutations in the serial loop's exact RNG order:
+        # client by client (cohort order), epoch by epoch.
+        perms = [[rng.permutation(c.n) for _ in range(epochs)] for c in clients]
+
+        # Process clients sorted by step count (stable descending) so the
+        # active set is always a prefix of the slab.
+        step_counts = np.array([epochs * -(-c.n // bsz) for c in clients])
+        order = np.argsort(-step_counts, kind="stable")
+        steps_sorted = step_counts[order]
+        # Per sorted position: permuted data per epoch, and the (epoch,
+        # start, size) schedule per lockstep step.
+        perm_x: List[List[np.ndarray]] = []
+        perm_y: List[List[np.ndarray]] = []
+        schedule: List[List[Tuple[int, int, int]]] = []
+        for pos in range(n_clients):
+            i = int(order[pos])
+            client = clients[i]
+            perm_x.append([client.x[p] for p in perms[i]])
+            perm_y.append([client.y[p] for p in perms[i]])
+            schedule.append(
+                [
+                    (e, s, min(bsz, client.n - s))
+                    for e in range(epochs)
+                    for s in range(0, client.n, bsz)
+                ]
+            )
+
+        model = self._stacked
+        model.train()
+        model.set_flat(global_params)
+        slab, gslab = model.slab, model.grad_slab
+        if self._velocity is not None:
+            self._velocity.fill(0.0)
+        self._ensure_buffers(clients[0].x, clients[0].y)
+        xbuf, ybuf, mbuf = self._xbuf, self._ybuf, self._mbuf
+
+        max_steps = int(steps_sorted[0])
+        active = n_clients
+        # Divergence (lr too large) is a designed code path, as in the
+        # serial ClientTrainer: overflow is caught by the loss check.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for t in range(max_steps):
+                while active > 0 and steps_sorted[active - 1] <= t:
+                    active -= 1
+                k = active
+                sizes = [schedule[pos][t][2] for pos in range(k)]
+                width = max(sizes)
+                ragged = min(sizes) < width
+                xb = xbuf[:k, :width]
+                yb = ybuf[:k, :width]
+                for pos in range(k):
+                    e, s, b = schedule[pos][t]
+                    xb[pos, :b] = perm_x[pos][e][s : s + b]
+                    yb[pos, :b] = perm_y[pos][e][s : s + b]
+                    if b < width:
+                        # Pad with copies of the batch's first real row so
+                        # forward values stay finite; the mask removes them
+                        # from loss and gradients.
+                        xb[pos, b:] = xb[pos, :1]
+                        yb[pos, b:] = yb[pos, 0]
+                    if ragged:
+                        mbuf[pos, :b] = 1.0
+                        mbuf[pos, b:width] = 0.0
+                # A uniform step skips the mask entirely, keeping per-client
+                # loss arithmetic bit-identical to the serial batch mean.
+                mask = mbuf[:k, :width] if ragged else None
+                gslab[:k].fill(0.0)
+                logits = model.forward(xb)
+                losses, dlogits = self._loss(logits, yb, mask)
+                if not np.all(np.isfinite(losses)):
+                    # A client diverged: replay the whole round serially so
+                    # its early-stop semantics (and RNG draws) match exactly.
+                    rng.bit_generator.state = rng_snapshot
+                    return False
+                model.backward(dlogits)
+                grads = gslab[:k]
+                if self.prox_mu > 0:
+                    # FedProx proximal pull towards the round's global
+                    # parameters, added to the raw gradient exactly where
+                    # the serial path adds it (before weight decay).
+                    grads += self.prox_mu * (slab[:k] - global_params[None, :])
+                fused_sgd_step(
+                    slab[:k],
+                    grads,
+                    lr=self.lr,
+                    momentum=self.momentum,
+                    weight_decay=self.weight_decay,
+                    velocity=self._velocity[:k] if self._velocity is not None else None,
+                    work=self._work[:k],
+                )
+        out[order] = slab
+        return True

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.datasets.base import FederatedDataset
 from repro.fl.client import ClientTrainer
+from repro.fl.cohort import CohortTrainer, resolve_cohort_mode
 from repro.fl.evaluation import client_error_rates, evaluate_model
 from repro.fl.sampling import UniformSampler
 from repro.fl.server import ServerOptimizer
@@ -68,6 +69,13 @@ class FederatedTrainer:
     scheme : "weighted" (by example count) or "uniform" client aggregation,
         matching the evaluation weighting per the paper's footnote 1.
     seed : controls model init, cohort sampling, and local batch order.
+    cohort_mode : "vectorized" trains the round's whole cohort in lockstep
+        on stacked parameter slabs (see :mod:`repro.fl.cohort`); "serial"
+        trains clients one at a time. ``None`` resolves from
+        ``$REPRO_COHORT_VECTOR`` (default serial). Models without stacked
+        kernels (recurrent text models) and rounds with diverging clients
+        automatically fall back to the serial path;
+        ``cohort_mode_effective`` reports the path actually in use.
     """
 
     def __init__(
@@ -78,6 +86,7 @@ class FederatedTrainer:
         clients_per_round: int = 10,
         scheme: str = "weighted",
         seed: SeedLike = 0,
+        cohort_mode: Optional[str] = None,
     ):
         if clients_per_round < 1:
             raise ValueError(f"clients_per_round must be >= 1, got {clients_per_round}")
@@ -104,18 +113,56 @@ class FederatedTrainer:
         )
         self._train_weights = dataset.train_weights(scheme)
         self.rounds_completed = 0
+        self.cohort_mode = resolve_cohort_mode(cohort_mode)
+        self._cohort_trainer = None
+        if self.cohort_mode == "vectorized":
+            self._cohort_trainer = CohortTrainer.maybe_build(
+                dataset.task,
+                self.model,
+                self.clients_per_round,
+                lr=local.lr,
+                momentum=local.momentum,
+                weight_decay=local.weight_decay,
+                batch_size=local.batch_size,
+                epochs=local.epochs,
+                prox_mu=local.prox_mu,
+            )
+        # Aggregation scratch, reused every round: the (cohort, P) client
+        # updates, their weighted copy, and the averaged parameters.
+        self._updates = np.empty((self.clients_per_round, self.params.size))
+        self._weighted = np.empty_like(self._updates)
+        self._avg = np.empty(self.params.size)
+
+    @property
+    def cohort_mode_effective(self) -> str:
+        """The training path in use ("vectorized" may fall back to "serial"
+        for model families without stacked kernels)."""
+        return "vectorized" if self._cohort_trainer is not None else "serial"
 
     def run_round(self) -> None:
         """One communication round (the inner loop of Algorithm 2)."""
         cohort = self._sampler.sample(self.clients_per_round, self._rng)
-        updates = np.empty((len(cohort), self.params.size))
+        updates = self._updates
         weights = self._train_weights[cohort]
-        for i, k in enumerate(cohort):
-            updates[i] = self._client_trainer.train(
-                self.model, self.params, self.dataset.train_clients[k], self._rng
+        trained = False
+        if self._cohort_trainer is not None:
+            trained = self._cohort_trainer.train_cohort(
+                self.params,
+                [self.dataset.train_clients[k] for k in cohort],
+                self._rng,
+                out=updates,
             )
-        avg = np.average(updates, axis=0, weights=weights)
-        pseudo_grad = self.params - avg
+        if not trained:
+            for i, k in enumerate(cohort):
+                updates[i] = self._client_trainer.train(
+                    self.model, self.params, self.dataset.train_clients[k], self._rng
+                )
+        # Weighted average with reused buffers; elementwise-multiply + axis
+        # sum + divide is bit-identical to the np.average it replaces.
+        np.multiply(updates, weights[:, None], out=self._weighted)
+        np.sum(self._weighted, axis=0, out=self._avg)
+        self._avg /= weights.sum()
+        pseudo_grad = self.params - self._avg
         if not np.all(np.isfinite(pseudo_grad)):
             # A client diverged under this config. Freeze the global model:
             # the config will evaluate poorly, which is the correct signal.

@@ -31,8 +31,22 @@ from repro.nn.layers import (
     Tanh,
 )
 from repro.nn.recurrent import LSTM, LSTMCell
-from repro.nn.losses import softmax_cross_entropy, sequence_cross_entropy
-from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.losses import mse_loss, softmax_cross_entropy, sequence_cross_entropy
+from repro.nn.optim import SGD, Adam, FlatSGD, Optimizer, fused_sgd_step
+from repro.nn.stacked import (
+    STACKED_LOSSES,
+    StackedConv2D,
+    StackedFlatten,
+    StackedLinear,
+    StackedMaxPool2D,
+    StackedModel,
+    StackedReLU,
+    StackedSigmoid,
+    StackedTanh,
+    stacked_mse,
+    stacked_softmax_cross_entropy,
+    supports_stacking,
+)
 from repro.nn.models import make_cnn, make_lstm_lm, make_mlp, LanguageModel
 from repro.nn.gradcheck import gradcheck_module, numerical_gradient
 from repro.nn.serialization import load_params, save_params
@@ -64,11 +78,26 @@ __all__ = [
     "Tanh",
     "LSTM",
     "LSTMCell",
+    "mse_loss",
     "softmax_cross_entropy",
     "sequence_cross_entropy",
     "SGD",
     "Adam",
+    "FlatSGD",
     "Optimizer",
+    "fused_sgd_step",
+    "STACKED_LOSSES",
+    "StackedConv2D",
+    "StackedFlatten",
+    "StackedLinear",
+    "StackedMaxPool2D",
+    "StackedModel",
+    "StackedReLU",
+    "StackedSigmoid",
+    "StackedTanh",
+    "stacked_mse",
+    "stacked_softmax_cross_entropy",
+    "supports_stacking",
     "make_cnn",
     "make_lstm_lm",
     "make_mlp",

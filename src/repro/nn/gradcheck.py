@@ -16,19 +16,22 @@ from repro.nn.module import Module
 def numerical_gradient(
     f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
 ) -> np.ndarray:
-    """Central-difference gradient of a scalar function at ``x``."""
+    """Central-difference gradient of a scalar function at ``x``.
+
+    Perturbs elements through multi-indexing rather than ``ravel`` so it
+    works on non-contiguous arrays too (``ravel`` would silently copy
+    them) — e.g. the slab-view parameters of ``repro.nn.stacked``.
+    """
     x = np.asarray(x, dtype=np.float64)
     grad = np.zeros_like(x)
-    flat = x.ravel()
-    gflat = grad.ravel()
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
+    for idx in np.ndindex(x.shape):
+        orig = x[idx]
+        x[idx] = orig + eps
         f_plus = f(x)
-        flat[i] = orig - eps
+        x[idx] = orig - eps
         f_minus = f(x)
-        flat[i] = orig
-        gflat[i] = (f_plus - f_minus) / (2.0 * eps)
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2.0 * eps)
     return grad
 
 

@@ -113,8 +113,11 @@ class MaxPool2D(Module):
         y = xr.max(axis=(3, 5))
         # Mask of argmax positions for routing gradients. Ties split the
         # gradient, which keeps the op's Jacobian exact for gradcheck.
+        # np.equal writes the float mask directly (bool -> float64 is a
+        # safe cast), so only one full-size temporary exists at a time.
         expanded = y[:, :, :, None, :, None]
-        mask = (xr == expanded).astype(np.float64)
+        mask = np.empty(xr.shape, dtype=np.float64)
+        np.equal(xr, expanded, out=mask)
         mask /= mask.sum(axis=(3, 5), keepdims=True)
         self._mask, self._x_shape = mask, x.shape
         return y
@@ -152,7 +155,11 @@ class ReLU(Module):
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        # Copy + in-place multiply by the bool mask: one output allocation,
+        # no np.where broadcast machinery on the hot path.
+        out = x.astype(np.float64, copy=True)
+        out *= self._mask
+        return out
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         return dy * self._mask
@@ -232,6 +239,7 @@ class Embedding(Module):
         self.dim = dim
         self.weight = Parameter(normal_init((vocab_size, dim), rng, std=0.1), "embedding.weight")
         self._ids: Optional[np.ndarray] = None
+        self._dx_zero: Optional[np.ndarray] = None
 
     def forward(self, ids: np.ndarray) -> np.ndarray:
         ids = np.asarray(ids)
@@ -246,5 +254,10 @@ class Embedding(Module):
         if self._ids is None:
             raise RuntimeError("backward called before forward")
         np.add.at(self.weight.grad, self._ids.ravel(), dy.reshape(-1, self.dim))
-        # Ids are not differentiable; return a zero placeholder of id shape.
-        return np.zeros(self._ids.shape, dtype=np.float64)
+        # Ids are not differentiable; return a zero placeholder of id shape,
+        # cached by shape so repeated same-shape batches don't re-allocate.
+        if self._dx_zero is None or self._dx_zero.shape != self._ids.shape:
+            self._dx_zero = np.zeros(self._ids.shape, dtype=np.float64)
+        else:
+            self._dx_zero.fill(0.0)
+        return self._dx_zero

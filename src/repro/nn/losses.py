@@ -13,6 +13,23 @@ import numpy as np
 from repro.nn.functional import log_softmax, softmax
 
 
+def mse_loss(preds: np.ndarray, targets: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean squared error over every element of a ``(N, ...)`` batch.
+
+    Returns ``(loss, dpreds)`` with ``dpreds = 2 (preds - targets) / size``
+    so the caller can run ``model.backward(dpreds)`` directly, mirroring
+    :func:`softmax_cross_entropy`.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if preds.shape != targets.shape:
+        raise ValueError(f"shape mismatch: preds {preds.shape} vs targets {targets.shape}")
+    if preds.size == 0:
+        raise ValueError("empty batch")
+    diff = preds - targets
+    loss = float(np.mean(diff**2))
+    return loss, (2.0 / diff.size) * diff
+
+
 def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray) -> Tuple[float, np.ndarray]:
     """Mean cross-entropy over a batch.
 

@@ -7,7 +7,7 @@ FedAdam update reuses its moment arithmetic (see :mod:`repro.fl.server`).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -76,6 +76,105 @@ class SGD(Optimizer):
             else:
                 update = grad
             p.data -= self.lr * update
+
+
+def fused_sgd_step(
+    params: np.ndarray,
+    grads: np.ndarray,
+    lr: float,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+    velocity: Optional[np.ndarray] = None,
+    work: Optional[np.ndarray] = None,
+) -> None:
+    """One SGD update over a whole flat (or stacked) buffer, in place.
+
+    Applies exactly :class:`SGD`'s rule — ``v <- momentum * v + grad +
+    weight_decay * w``; ``w <- w - lr * v`` — as a handful of whole-buffer
+    ufunc calls instead of a Python loop over parameters. Because the rule
+    is elementwise (and addition is commutative), the result is
+    bit-identical to running :class:`SGD` over any per-parameter slicing
+    of the same buffers.
+
+    ``params`` is updated in place. ``velocity`` (required iff ``momentum``
+    is nonzero) is the momentum buffer, also updated in place; pass the
+    same buffer to successive calls. ``grads`` is never mutated. ``work``
+    (same shape, scratch) makes the step allocation-free.
+    """
+    if work is not None and work.shape != params.shape:
+        raise ValueError(f"work buffer shape {work.shape} != params shape {params.shape}")
+    if weight_decay:
+        if work is None:
+            grads = grads + weight_decay * params
+        else:
+            np.multiply(params, weight_decay, out=work)
+            work += grads
+            grads = work
+    if momentum:
+        if velocity is None:
+            raise ValueError("momentum > 0 requires a velocity buffer")
+        velocity *= momentum
+        velocity += grads
+        update = velocity
+    else:
+        update = grads
+    if update is work:
+        # The scratch already holds the update; scale it in place.
+        work *= lr
+        params -= work
+    elif work is None:
+        params -= lr * update
+    else:
+        np.multiply(update, lr, out=work)
+        params -= work
+
+
+class FlatSGD:
+    """:class:`SGD` fused over one flat parameter buffer.
+
+    Where :class:`SGD` loops over a module's parameter list, this operates
+    on a single ``(P,)`` vector — or a stacked ``(C, P)`` slab holding C
+    independent parameter copies with per-row momentum state — which is
+    what the vectorized cohort trainer (:mod:`repro.fl.cohort`) runs local
+    SGD on. Updates are bit-identical to the per-parameter loop.
+    """
+
+    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0.0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Optional[np.ndarray] = None
+
+    def reset(self) -> None:
+        """Drop momentum state (e.g. between federated rounds, where client
+        momentum is per-invocation)."""
+        self._velocity = None
+
+    def step(self, params: np.ndarray, grads: np.ndarray) -> None:
+        """Update ``params`` in place from ``grads`` (same shape)."""
+        if params.shape != grads.shape:
+            raise ValueError(
+                f"shape mismatch: params {params.shape} vs grads {grads.shape}"
+            )
+        velocity = None
+        if self.momentum:
+            if self._velocity is None or self._velocity.shape != params.shape:
+                self._velocity = np.zeros_like(params)
+            velocity = self._velocity
+        fused_sgd_step(
+            params,
+            grads,
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            velocity=velocity,
+        )
 
 
 class Adam(Optimizer):

@@ -1,0 +1,436 @@
+"""Stacked (multi-copy) layers: lockstep compute over a leading client axis.
+
+The vectorized cohort trainer (:mod:`repro.fl.cohort`) trains every client
+of a federated round simultaneously. Each client holds its own copy of the
+model parameters, so the compute primitive is a *stacked* layer: inputs
+carry a leading copy axis ``C`` (``(C, B, ...)``) and parameters carry the
+same axis (``(C, ...)``), with all C copies advanced by one batched kernel
+call — e.g. ``StackedLinear`` is a single ``(C,B,d) @ (C,d,out)`` batched
+matmul instead of C Python-level layer calls.
+
+:class:`StackedModel` materializes C copies of a template
+:class:`~repro.nn.module.Sequential`'s parameters as one contiguous
+``(C, P)`` slab (P = flat parameter count, column order matching
+:func:`~repro.nn.module.get_flat_params`). Layer parameters and gradients
+are *views* into the slab and its gradient twin, so a fused optimizer step
+on the slab (:func:`repro.nn.optim.fused_sgd_step`) updates every layer
+in place with no gather/scatter.
+
+Numerical contract: with no padding in play, every stacked kernel is
+elementwise- or GEMM-per-slice-identical to its serial counterpart, so
+copy ``c`` of a stacked forward/backward reproduces the serial model
+bit-for-bit on the reference BLAS paths; the cohort trainer's equivalence
+tests assert this directly. Padded rows (ragged batches) are excluded via
+loss masks, which changes only summation *order* in per-client reductions
+(documented tolerance in :mod:`tests.fl.test_cohort`).
+
+Prefix activation: when the first input axis ``k`` is smaller than the
+number of copies C, parameterised layers compute with the leading ``k``
+parameter copies only (views, no copy). The cohort trainer uses this to
+retire clients that have exhausted their local steps without re-building
+the stack.
+
+Layers with data-dependent control flow per copy (LSTM), RNG consumption
+(Dropout), or integer inputs (Embedding) have no stacked counterpart;
+:func:`supports_stacking` reports this and the cohort trainer falls back
+to the serial per-client path for such models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.nn.functional import col2im, im2col, log_softmax, softmax
+from repro.nn.layers import Conv2D, Flatten, Linear, MaxPool2D, ReLU, Sigmoid, Tanh
+from repro.nn.losses import mse_loss, softmax_cross_entropy
+from repro.nn.module import Module, Parameter, Sequential
+
+
+class StackedLinear(Module):
+    """C independent affine layers: ``y[c] = x[c] @ W[c] + b[c]``.
+
+    ``weight`` is ``(C, in, out)``, ``bias`` ``(C, out)``; inputs are
+    ``(k, B, in)`` with ``k <= C`` (prefix activation).
+    """
+
+    def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]):
+        super().__init__()
+        if weight.ndim != 3:
+            raise ValueError(f"stacked weight must be (C, in, out), got {weight.shape}")
+        self.n_copies, self.in_features, self.out_features = weight.shape
+        self.weight = Parameter(weight, "stacked_linear.weight")
+        self.bias = Parameter(bias, "stacked_linear.bias") if bias is not None else None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[-1] != self.in_features or x.shape[0] > self.n_copies:
+            raise ValueError(
+                f"StackedLinear expected (k<={self.n_copies}, B, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        k = x.shape[0]
+        y = np.matmul(x, self.weight.data[:k])
+        if self.bias is not None:
+            y += self.bias.data[:k, None, :]
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        k = x.shape[0]
+        self.weight.grad[:k] += np.matmul(x.transpose(0, 2, 1), dy)
+        if self.bias is not None:
+            self.bias.grad[:k] += dy.sum(axis=1)
+        return np.matmul(dy, self.weight.data[:k].transpose(0, 2, 1))
+
+
+class StackedConv2D(Module):
+    """C independent 2-D convolutions over ``(k, B, C_in, H, W)`` inputs.
+
+    im2col runs once over the collapsed ``(k*B, ...)`` image stack (the
+    unfold is per-image, so collapsing is exact); the per-copy weights then
+    apply as one batched ``(k, B*oh*ow, ckk) @ (k, ckk, out_c)`` matmul.
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        bias: np.ndarray,
+        stride: int = 1,
+        pad: int = 0,
+    ):
+        super().__init__()
+        if weight.ndim != 5 or weight.shape[3] != weight.shape[4]:
+            raise ValueError(
+                f"stacked conv weight must be (C, out_c, in_c, k, k), got {weight.shape}"
+            )
+        self.n_copies, self.out_channels, self.in_channels, self.kernel_size, _ = weight.shape
+        self.stride = stride
+        self.pad = pad
+        self.weight = Parameter(weight, "stacked_conv.weight")
+        self.bias = Parameter(bias, "stacked_conv.bias")
+        self._cols: Optional[np.ndarray] = None
+        self._x_shape: Optional[tuple] = None
+        self._out_hw: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 5 or x.shape[2] != self.in_channels or x.shape[0] > self.n_copies:
+            raise ValueError(
+                f"StackedConv2D expected (k<={self.n_copies}, B, {self.in_channels}, H, W), "
+                f"got {x.shape}"
+            )
+        k, b = x.shape[:2]
+        ksz = self.kernel_size
+        cols, out_h, out_w = im2col(
+            x.reshape((k * b,) + x.shape[2:]), ksz, ksz, self.stride, self.pad
+        )
+        cols = cols.reshape(k, b * out_h * out_w, -1)
+        self._cols, self._x_shape, self._out_hw = cols, x.shape, (out_h, out_w)
+        w2 = self.weight.data[:k].reshape(k, self.out_channels, -1)  # (k, out_c, ckk)
+        y = np.matmul(cols, w2.transpose(0, 2, 1))  # (k, B*oh*ow, out_c)
+        y += self.bias.data[:k, None, :]
+        return y.reshape(k, b, out_h, out_w, self.out_channels).transpose(0, 1, 4, 2, 3)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._cols is None:
+            raise RuntimeError("backward called before forward")
+        k, b = self._x_shape[:2]
+        out_h, out_w = self._out_hw
+        dy2 = dy.transpose(0, 1, 3, 4, 2).reshape(k, b * out_h * out_w, self.out_channels)
+        self.weight.grad[:k] += np.matmul(dy2.transpose(0, 2, 1), self._cols).reshape(
+            (k,) + self.weight.shape[1:]
+        )
+        self.bias.grad[:k] += dy2.sum(axis=1)
+        w2 = self.weight.data[:k].reshape(k, self.out_channels, -1)
+        dcols = np.matmul(dy2, w2).reshape(k * b * out_h * out_w, -1)
+        ksz = self.kernel_size
+        dx = col2im(dcols, (k * b,) + self._x_shape[2:], ksz, ksz, self.stride, self.pad)
+        return dx.reshape(self._x_shape)
+
+
+class StackedMaxPool2D(MaxPool2D):
+    """Max pooling over ``(k, B, C_in, H, W)``: pooling is per-window, so
+    the serial kernel applies verbatim on the collapsed ``(k*B, ...)``
+    image stack — one kernel to maintain, identical tie handling."""
+
+    def __init__(self, pool_size: int = 2):
+        super().__init__(pool_size)
+        self._stack_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        k, b = x.shape[:2]
+        self._stack_shape = x.shape
+        y = MaxPool2D.forward(self, x.reshape((k * b,) + x.shape[2:]))
+        return y.reshape((k, b) + y.shape[1:])
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._stack_shape is None:
+            raise RuntimeError("backward called before forward")
+        k, b = self._stack_shape[:2]
+        dx = MaxPool2D.backward(self, dy.reshape((k * b,) + dy.shape[2:]))
+        return dx.reshape(self._stack_shape)
+
+
+class StackedFlatten(Module):
+    """Collapse all but the copy and batch axes: ``(k, B, ...) -> (k, B, F)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], x.shape[1], -1)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return dy.reshape(self._x_shape)
+
+
+class StackedReLU(ReLU):
+    """ReLU over ``(k, B, ...)`` — elementwise, so the serial kernel is
+    already stacked; the subclass only documents the shape contract."""
+
+
+class StackedTanh(Tanh):
+    """Tanh over ``(k, B, ...)`` (elementwise; serial kernel reused)."""
+
+
+class StackedSigmoid(Sigmoid):
+    """Sigmoid over ``(k, B, ...)`` (elementwise; serial kernel reused)."""
+
+
+# -- stacked losses -----------------------------------------------------------
+
+
+def _check_mask(mask: Optional[np.ndarray], shape: tuple) -> Optional[np.ndarray]:
+    if mask is None:
+        return None
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape != shape:
+        raise ValueError(f"mask must be {shape}, got {mask.shape}")
+    counts = mask.sum(axis=1)
+    if np.any(counts <= 0):
+        raise ValueError("mask excludes every row of at least one copy")
+    return mask
+
+
+def stacked_softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-copy mean cross-entropy over a ``(C, B, K)`` stacked batch.
+
+    Row-wise the math is identical to :func:`repro.nn.losses.softmax_cross_entropy`;
+    the mean is taken per copy. ``mask`` (``(C, B)`` in {0, 1}) excludes
+    padded rows: masked rows contribute neither loss nor gradient, and each
+    copy's loss averages over its *unmasked* rows — so gradient sums match
+    a serial pass over just the real rows. Returns ``(losses, dlogits)``
+    with ``losses`` of shape ``(C,)`` and ``dlogits`` pre-scaled for
+    ``model.backward``.
+    """
+    if logits.ndim != 3:
+        raise ValueError(f"logits must be (C, B, K), got {logits.shape}")
+    c, b, k = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (c, b):
+        raise ValueError(f"labels must be ({c},{b}), got {labels.shape}")
+    if b == 0:
+        raise ValueError("empty batch")
+    mask = _check_mask(mask, (c, b))
+    logp = log_softmax(logits, axis=2)
+    rows = np.arange(c)[:, None], np.arange(b)[None, :], labels
+    nll = -logp[rows]  # (C, B)
+    dlogits = softmax(logits, axis=2)
+    dlogits[rows] -= 1.0
+    if mask is None:
+        losses = nll.mean(axis=1)
+        dlogits /= b
+    else:
+        counts = mask.sum(axis=1)
+        losses = (nll * mask).sum(axis=1) / counts
+        dlogits *= (mask / counts[:, None])[:, :, None]
+    return losses, dlogits
+
+
+def stacked_mse(
+    preds: np.ndarray, targets: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-copy mean squared error over a ``(C, B, ...)`` stacked batch.
+
+    Mirrors :func:`repro.nn.losses.mse_loss` per copy: the loss averages
+    over every element of the copy's (unmasked) rows. ``mask`` is ``(C, B)``
+    in {0, 1}; masked rows contribute neither loss nor gradient.
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if preds.ndim < 2:
+        raise ValueError(f"preds must be (C, B, ...), got {preds.shape}")
+    if preds.shape != targets.shape:
+        raise ValueError(f"shape mismatch: preds {preds.shape} vs targets {targets.shape}")
+    c, b = preds.shape[:2]
+    if b == 0:
+        raise ValueError("empty batch")
+    mask = _check_mask(mask, (c, b))
+    per_row = int(np.prod(preds.shape[2:], dtype=np.int64)) if preds.ndim > 2 else 1
+    diff = preds - targets
+    sq = diff**2
+    if mask is None:
+        losses = sq.reshape(c, -1).mean(axis=1)
+        dpreds = (2.0 / (b * per_row)) * diff
+    else:
+        counts = mask.sum(axis=1) * per_row
+        mask_b = mask.reshape((c, b) + (1,) * (preds.ndim - 2))
+        losses = (sq * mask_b).reshape(c, -1).sum(axis=1) / counts
+        dpreds = diff * (2.0 * mask_b / counts.reshape((c,) + (1,) * (preds.ndim - 1)))
+    return losses, dpreds
+
+
+#: Serial loss function -> its stacked counterpart. The cohort trainer uses
+#: this to translate a TaskSpec's ``loss_fn``; tasks whose loss is not here
+#: fall back to serial training.
+STACKED_LOSSES: Dict[Callable, Callable] = {
+    softmax_cross_entropy: stacked_softmax_cross_entropy,
+    mse_loss: stacked_mse,
+}
+
+
+# -- stacking a template model ------------------------------------------------
+
+
+def _stack_linear(layer: Linear, n_copies: int) -> StackedLinear:
+    weight = np.repeat(layer.weight.data[None], n_copies, axis=0)
+    bias = np.repeat(layer.bias.data[None], n_copies, axis=0) if layer.bias is not None else None
+    return StackedLinear(weight, bias)
+
+
+def _stack_conv(layer: Conv2D, n_copies: int) -> StackedConv2D:
+    return StackedConv2D(
+        np.repeat(layer.weight.data[None], n_copies, axis=0),
+        np.repeat(layer.bias.data[None], n_copies, axis=0),
+        stride=layer.stride,
+        pad=layer.pad,
+    )
+
+
+#: Leaf layer type -> factory building its stacked counterpart. Exact-type
+#: match: a subclass with different semantics must register itself.
+STACK_FACTORIES: Dict[Type[Module], Callable[[Module, int], Module]] = {
+    Linear: _stack_linear,
+    Conv2D: _stack_conv,
+    MaxPool2D: lambda layer, n: StackedMaxPool2D(layer.pool_size),
+    Flatten: lambda layer, n: StackedFlatten(),
+    ReLU: lambda layer, n: StackedReLU(),
+    Tanh: lambda layer, n: StackedTanh(),
+    Sigmoid: lambda layer, n: StackedSigmoid(),
+}
+
+
+def _iter_leaves(module: Module):
+    """Depth-first leaf layers of (possibly nested) Sequential containers."""
+    if isinstance(module, Sequential):
+        for child in module:
+            yield from _iter_leaves(child)
+    else:
+        yield module
+
+
+def supports_stacking(module: Module) -> bool:
+    """True iff every leaf layer of ``module`` has a stacked counterpart.
+
+    Models containing LSTMs, Embeddings, or Dropout (per-copy RNG) report
+    False; the cohort trainer then keeps the serial per-client path.
+    """
+    if not isinstance(module, Sequential):
+        return False
+    return all(type(leaf) in STACK_FACTORIES for leaf in _iter_leaves(module))
+
+
+class StackedModel(Module):
+    """C lockstep copies of a template model over one ``(C, P)`` parameter slab.
+
+    Parameters of the stacked layers are float64 *views* into ``slab``
+    (and gradients into ``grad_slab``), laid out so that ``slab[c]`` is
+    exactly ``get_flat_params(template)`` of copy ``c``. Setting the slab
+    therefore sets every layer, and a fused optimizer step on the slab
+    updates every layer — no per-parameter gather/scatter.
+    """
+
+    def __init__(self, template: Module, n_copies: int):
+        super().__init__()
+        if n_copies < 1:
+            raise ValueError(f"n_copies must be >= 1, got {n_copies}")
+        if not supports_stacking(template):
+            raise ValueError(
+                f"model {type(template).__name__} contains layers without stacked kernels"
+            )
+        self.n_copies = n_copies
+        self.layers: List[Module] = [
+            STACK_FACTORIES[type(leaf)](leaf, n_copies) for leaf in _iter_leaves(template)
+        ]
+        template_params = [p for leaf in _iter_leaves(template) for p in leaf.parameters()]
+        self.n_params = sum(p.size for p in template_params)
+        self._slab = np.empty((n_copies, self.n_params), dtype=np.float64)
+        self._gslab = np.zeros((n_copies, self.n_params), dtype=np.float64)
+        # Rebind every stacked parameter's data/grad to slab views. Stacked
+        # layers create parameters in the same order as their template
+        # layer, so offsets line up with get_flat_params column order.
+        stacked_params = self.parameters()
+        if len(stacked_params) != len(template_params):
+            raise RuntimeError("stacked/template parameter count mismatch")
+        offset = 0
+        for sp, tp in zip(stacked_params, template_params):
+            if sp.shape != (n_copies,) + tp.shape:
+                raise RuntimeError(
+                    f"stacked param {sp.name} shape {sp.shape} does not stack {tp.shape}"
+                )
+            view = self._slab[:, offset : offset + tp.size].reshape((n_copies,) + tp.shape)
+            view[...] = sp.data
+            sp.data = view
+            sp.grad = self._gslab[:, offset : offset + tp.size].reshape((n_copies,) + tp.shape)
+            offset += tp.size
+
+    # -- slab access ---------------------------------------------------------
+    @property
+    def slab(self) -> np.ndarray:
+        """The ``(C, P)`` parameter slab (mutating it mutates the layers)."""
+        return self._slab
+
+    @property
+    def grad_slab(self) -> np.ndarray:
+        """The ``(C, P)`` gradient slab (aliased by every ``p.grad``)."""
+        return self._gslab
+
+    def set_flat(self, flat: np.ndarray) -> None:
+        """Load one flat ``(P,)`` vector into every copy (broadcast)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self.n_params,):
+            raise ValueError(f"expected flat vector of size {self.n_params}, got {flat.shape}")
+        self._slab[...] = flat
+
+    def set_slab(self, slab: np.ndarray) -> None:
+        """Load per-copy flat parameters from a ``(C, P)`` array."""
+        if slab.shape != self._slab.shape:
+            raise ValueError(f"expected slab of shape {self._slab.shape}, got {slab.shape}")
+        self._slab[...] = slab
+
+    def get_slab(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Copy of the slab (into ``out`` when given)."""
+        if out is None:
+            return self._slab.copy()
+        out[...] = self._slab
+        return out
+
+    def zero_grad(self) -> None:
+        self._gslab.fill(0.0)
+
+    # -- compute -------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam, Linear, Sequential, softmax_cross_entropy
+from repro.nn import SGD, Adam, FlatSGD, Linear, Sequential, fused_sgd_step, softmax_cross_entropy
 from repro.nn.module import Parameter
 
 
@@ -101,6 +101,97 @@ class TestAdam:
         p.grad[:] = 0.0
         opt.step()
         assert p.data[0] < 10.0
+
+
+class TestFlatSGD:
+    """The fused flat-buffer step must match the per-parameter SGD loop
+    bit-for-bit — the contract the vectorized cohort trainer relies on."""
+
+    def run_pair(self, rng, momentum, weight_decay, steps=5):
+        shapes = [(4, 3), (3,), (3, 2), (2,)]
+        params = [Parameter(rng.normal(size=s)) for s in shapes]
+        flat = np.concatenate([p.data.ravel() for p in params])
+        looped = SGD(params, lr=0.1, momentum=momentum, weight_decay=weight_decay)
+        fused = FlatSGD(lr=0.1, momentum=momentum, weight_decay=weight_decay)
+        for _ in range(steps):
+            grads = [rng.normal(size=s) for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad[...] = g
+            looped.step()
+            fused.step(flat, np.concatenate([g.ravel() for g in grads]))
+        flat_looped = np.concatenate([p.data.ravel() for p in params])
+        assert np.array_equal(flat, flat_looped)
+
+    def test_matches_sgd_loop_plain(self, rng):
+        self.run_pair(rng, momentum=0.0, weight_decay=0.0)
+
+    def test_matches_sgd_loop_momentum(self, rng):
+        self.run_pair(rng, momentum=0.9, weight_decay=0.0)
+
+    def test_matches_sgd_loop_momentum_weight_decay(self, rng):
+        self.run_pair(rng, momentum=0.9, weight_decay=0.01)
+
+    def test_matches_sgd_loop_weight_decay_only(self, rng):
+        self.run_pair(rng, momentum=0.0, weight_decay=0.05)
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            FlatSGD(lr=0.0)
+        with pytest.raises(ValueError):
+            FlatSGD(lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            FlatSGD(lr=0.1, weight_decay=-1.0)
+
+    def test_shape_mismatch_rejected(self, rng):
+        opt = FlatSGD(lr=0.1)
+        with pytest.raises(ValueError):
+            opt.step(np.zeros(4), np.zeros(5))
+
+    def test_reset_drops_momentum(self, rng):
+        p1 = rng.normal(size=6).copy()
+        p2 = p1.copy()
+        g = rng.normal(size=6)
+        warm = FlatSGD(lr=0.1, momentum=0.9)
+        warm.step(p1, g)
+        warm.reset()
+        warm.step(p1, g)
+        fresh = FlatSGD(lr=0.1, momentum=0.9)
+        fresh.step(p2, g)
+        fresh2 = FlatSGD(lr=0.1, momentum=0.9)
+        fresh2.step(p2, g)
+        assert np.array_equal(p1, p2)
+
+    def test_stacked_rows_match_independent_vectors(self, rng):
+        """A (C, P) slab step equals C independent (P,) steps — per-row
+        momentum included."""
+        c_copies, p_size = 3, 7
+        slab = rng.normal(size=(c_copies, p_size))
+        rows = [slab[i].copy() for i in range(c_copies)]
+        velocity = np.zeros_like(slab)
+        row_opts = [FlatSGD(lr=0.2, momentum=0.8, weight_decay=0.01) for _ in rows]
+        work = np.empty_like(slab)
+        for _ in range(4):
+            grads = rng.normal(size=(c_copies, p_size))
+            fused_sgd_step(
+                slab, grads, lr=0.2, momentum=0.8, weight_decay=0.01,
+                velocity=velocity, work=work,
+            )
+            for row, opt, g in zip(rows, row_opts, grads):
+                opt.step(row, g)
+        for i, row in enumerate(rows):
+            assert np.array_equal(slab[i], row)
+
+    def test_fused_step_does_not_mutate_grads(self, rng):
+        params = rng.normal(size=8)
+        grads = rng.normal(size=8)
+        snapshot = grads.copy()
+        v = np.zeros(8)
+        fused_sgd_step(params, grads, lr=0.1, momentum=0.9, weight_decay=0.1, velocity=v)
+        assert np.array_equal(grads, snapshot)
+
+    def test_momentum_requires_velocity(self, rng):
+        with pytest.raises(ValueError):
+            fused_sgd_step(np.zeros(3), np.zeros(3), lr=0.1, momentum=0.5)
 
 
 class TestTrainingIntegration:
