@@ -58,9 +58,12 @@ def main() -> None:
     )
     parser.add_argument(
         "--cohort-mode",
-        choices=("serial", "vectorized"),
+        choices=("serial", "vectorized", "fused"),
         default=None,
-        help="lockstep vs per-client cohort training (default: $REPRO_COHORT_VECTOR)",
+        help=(
+            "cohort training: per-client serial, per-trainer lockstep slabs, or "
+            "cross-trial fused slabs (default: $REPRO_COHORT_VECTOR)"
+        ),
     )
     args = parser.parse_args()
 

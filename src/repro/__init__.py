@@ -18,7 +18,8 @@ The package is organised bottom-up:
 - :mod:`repro.experiments` — drivers that regenerate every table and figure
   in the paper's evaluation.
 - :mod:`repro.engine` — the parallel execution substrate: process-pool
-  executor, `advance_many` batch trial API, and the disk-backed
+  executor, `advance_many` batch trial API, trial-fused cross-trial slab
+  training (whole tuner rungs in lockstep), and the disk-backed
   configuration-bank store. Parallelism and caching never change results.
 """
 

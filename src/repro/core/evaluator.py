@@ -153,7 +153,11 @@ class FederatedTrialRunner(TrialRunner):
     (see :mod:`repro.engine.executor`) parallelises :meth:`advance_many`
     across processes: each trainer carries its own RNG stream, so training
     trials in workers and merging their state back is bit-identical to the
-    serial loop.
+    serial loop. With ``cohort_mode="fused"`` (and no multi-process
+    executor), :meth:`advance_many` instead merges every same-architecture
+    trial of the batch into one cross-trial parameter slab
+    (:class:`repro.fl.fused.FusedTrainerPool`) — whole Hyperband/SHA rungs
+    train as a single lockstep mega-cohort in this process.
     """
 
     def __init__(
@@ -166,12 +170,15 @@ class FederatedTrialRunner(TrialRunner):
         executor=None,
         cohort_mode: Optional[str] = None,
     ):
+        from repro.fl.cohort import resolve_cohort_mode
+
         super().__init__(max_rounds)
         self.dataset = dataset
         self.clients_per_round = clients_per_round
         self.scheme = scheme
         self.executor = executor
-        self.cohort_mode = cohort_mode
+        self.cohort_mode = resolve_cohort_mode(cohort_mode)
+        self._fused_pool = None
         self._seed_rng = as_rng(seed)
         self._rates_cache: Dict[int, tuple] = {}
 
@@ -191,7 +198,8 @@ class FederatedTrialRunner(TrialRunner):
 
     def advance_many(self, requests: Sequence[Tuple[Trial, int]]) -> List[int]:
         executor = self.executor
-        if executor is None or getattr(executor, "n_workers", 1) <= 1:
+        pooled = executor is not None and getattr(executor, "n_workers", 1) > 1
+        if not pooled and self.cohort_mode != "fused":
             return super().advance_many(requests)
         seen = set()
         for trial, rounds in requests:
@@ -204,11 +212,21 @@ class FederatedTrialRunner(TrialRunner):
         # planned up front and only the training itself farmed out.
         planned = [(trial, min(rounds, self.max_rounds - trial.rounds)) for trial, rounds in requests]
         work = [(trial, allowed) for trial, allowed in planned if allowed > 0]
-        if len(work) > 1:
+        if pooled and len(work) > 1:
+            # Process-level parallelism wins over in-process fusion: each
+            # worker's trainer still runs its own lockstep cohort.
             payload = [(trial.state, allowed) for trial, allowed in work]
             states = executor.map(_advance_trainer_task, range(len(work)), payload=payload)
             for (trial, _), state in zip(work, states):
                 trial.state.load_state_dict(state)
+        elif self.cohort_mode == "fused" and len(work) > 1:
+            if self._fused_pool is None:
+                from repro.fl.fused import FusedTrainerPool
+
+                self._fused_pool = FusedTrainerPool()
+            self._fused_pool.advance(
+                [trial.state for trial, _ in work], [allowed for _, allowed in work]
+            )
         else:
             for trial, allowed in work:
                 trial.state.run(allowed)

@@ -12,12 +12,19 @@ The engine is the execution substrate underneath every online experiment:
   :class:`repro.core.evaluator.FederatedTrialRunner` whose
   ``advance_many`` batch API fans independent trials across workers while
   preserving per-trial deterministic seeding.
+- :mod:`repro.engine.trialfuse` — :class:`TrialFusedRunner`, the
+  in-process counterpart: ``advance_many`` merges every
+  same-architecture trial of a batch into one cross-trial ``(T*C, P)``
+  parameter slab and trains the whole rung in lockstep
+  (``cohort_mode="fused"``).
 - :mod:`repro.engine.bank_store` — :class:`BankStore`, a disk-backed
   memo of built configuration banks keyed by the full build signature
-  ``(dataset, preset, seed, n_configs, max_rounds, ...)``.
+  ``(dataset, preset, seed, n_configs, max_rounds, format_version, ...)``.
 
-Every parallel path is bit-equivalent to its serial counterpart: the only
-thing parallelism changes is wall-clock time.
+Every parallel path is bit-equivalent to its serial counterpart (the
+fused path additionally tolerates ~1e-15/round ragged-padding drift,
+documented in :mod:`repro.fl.cohort`): the only thing the engine changes
+is wall-clock time.
 """
 
 from repro.engine.executor import (
@@ -27,15 +34,18 @@ from repro.engine.executor import (
     default_workers,
     make_executor,
 )
-from repro.engine.bank_store import BankStore
+from repro.engine.bank_store import BANK_FORMAT_VERSION, BankStore
 from repro.engine.runner import ParallelTrialRunner
+from repro.engine.trialfuse import TrialFusedRunner
 
 __all__ = [
+    "BANK_FORMAT_VERSION",
     "BankStore",
     "ParallelTrialRunner",
     "ProcessExecutor",
     "SerialExecutor",
     "TrialExecutor",
+    "TrialFusedRunner",
     "default_workers",
     "make_executor",
 ]

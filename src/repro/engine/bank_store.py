@@ -11,7 +11,10 @@ Cache-key contract: *every* argument that can change the resulting bank
 must be part of the key fields. :meth:`BankStore.key_fields` assembles the
 standard set; any change to any field — a different seed, pool size,
 round cap, eta, cohort size, or param storage — produces a different hash
-and therefore a rebuild. Unknown files are never overwritten or deleted
+and therefore a rebuild. The key also stamps :data:`BANK_FORMAT_VERSION`,
+the semantic version of the training behavior itself: a PR that changes
+what a build produces bumps it, and every stale cache entry becomes a
+miss automatically. Unknown files are never overwritten or deleted
 except through :meth:`clear`.
 
 The cache directory comes from the caller or the ``REPRO_BANK_CACHE``
@@ -27,6 +30,17 @@ import tempfile
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.bank import ConfigBank
+
+#: Semantic version of the training/evaluation behavior behind a bank
+#: build. Bump whenever a PR changes what a build *produces* for the same
+#: inputs — kernel semantics, divergence handling, evaluation order — so
+#: every stale cache entry auto-invalidates instead of relying on a README
+#: warning. History:
+#:
+#: 2: PR 2's ReLU forward now propagates NaN/-inf inputs instead of
+#:    zeroing them, so diverged-config trajectories can early-stop sooner
+#:    than pre-PR serial runs; pre-PR caches of diverged configs differ.
+BANK_FORMAT_VERSION = 2
 
 
 class BankStore:
@@ -54,7 +68,10 @@ class BankStore:
         """The canonical key of one bank build.
 
         ``extra`` carries any further build arguments that influence the
-        result (eta, clients_per_round, scheme, store_params, ...).
+        result (eta, clients_per_round, scheme, store_params, ...). The
+        ``format_version`` field stamps :data:`BANK_FORMAT_VERSION` into
+        every key, so behavior-changing PRs rebuild stale caches
+        automatically.
         """
         fields = {
             "dataset": str(dataset),
@@ -62,6 +79,7 @@ class BankStore:
             "seed": int(seed),
             "n_configs": int(n_configs),
             "max_rounds": int(max_rounds),
+            "format_version": BANK_FORMAT_VERSION,
         }
         for name, value in extra.items():
             fields[str(name)] = value

@@ -23,7 +23,8 @@ class ParallelTrialRunner(FederatedTrialRunner):
 
     ``n_workers=None`` resolves via ``REPRO_WORKERS`` / the CPU count; a
     resolved count of 1 (or a platform without ``fork``) degrades to the
-    plain serial runner.
+    plain serial runner — or, with ``cohort_mode="fused"``, to in-process
+    cross-trial slab fusion (see :mod:`repro.engine.trialfuse`).
     """
 
     def __init__(

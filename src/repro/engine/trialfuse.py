@@ -1,0 +1,53 @@
+"""TrialFusedRunner: train whole tuner rungs as one cross-trial slab.
+
+The third execution mode of the engine (after PR 1's process pool and
+PR 2's per-trainer vectorized cohorts): every ``advance_many`` batch —
+a Hyperband/SHA rung, a random-search batch, a grid sweep — is grouped by
+model architecture (:func:`repro.nn.stacked.stack_signature`) and each
+group trains as one ``(T*C, P)`` parameter slab, all trials' cohorts in
+lockstep, per-trial hyperparameters broadcast per slab row
+(:class:`repro.fl.fused.FusedTrainerPool`).
+
+Equivalence to the serial runner (asserted in ``tests/fl/test_fused.py``):
+bit-identical when no ragged padding occurs, ~1e-15/round otherwise,
+identical per-trial RNG end state, and exact serial fallback for trials
+that diverge mid-round. Fused-built banks get their own
+:class:`~repro.engine.bank_store.BankStore` cache key (the ``cohort_mode``
+key field).
+"""
+
+from __future__ import annotations
+
+from repro.core.evaluator import FederatedTrialRunner
+from repro.datasets.base import FederatedDataset
+from repro.utils.rng import SeedLike
+
+
+class TrialFusedRunner(FederatedTrialRunner):
+    """A :class:`FederatedTrialRunner` pinned to ``cohort_mode="fused"``.
+
+    Single-trial ``advance`` calls (and trials whose architecture has no
+    stacked kernels) run as plain — per-trainer vectorized — rounds; only
+    multi-trial batches fuse. In-process by construction: combine with
+    ``REPRO_WORKERS`` by passing ``cohort_mode="fused"`` to
+    :class:`~repro.engine.runner.ParallelTrialRunner` instead, which
+    prefers process parallelism for the batch and keeps each worker's
+    trainer vectorized.
+    """
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        max_rounds: int,
+        clients_per_round: int = 10,
+        scheme: str = "weighted",
+        seed: SeedLike = 0,
+    ):
+        super().__init__(
+            dataset,
+            max_rounds,
+            clients_per_round=clients_per_round,
+            scheme=scheme,
+            seed=seed,
+            cohort_mode="fused",
+        )

@@ -62,6 +62,61 @@ def _build_config_task(payload, k: int):
     return errors, params
 
 
+def effective_build_mode(cohort_mode, executor) -> str:
+    """The cohort mode a bank build will *actually* run under.
+
+    "fused" only engages for in-process builds; with a multi-worker
+    executor each worker's trainer runs standalone, which is exactly the
+    "vectorized" build (a fused-mode trainer's own rounds are vectorized
+    rounds). Cache keys must use this effective mode — keying a
+    worker-built bank as "fused" would alias two numerically different
+    builds (cross-config slab padding vs per-trainer slabs) under one
+    entry, breaking the store's every-input-in-the-key contract.
+    """
+    from repro.fl.cohort import resolve_cohort_mode
+
+    mode = resolve_cohort_mode(cohort_mode)
+    if mode == "fused" and getattr(executor, "n_workers", 1) > 1:
+        return "vectorized"
+    return mode
+
+
+def _build_fused(dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params):
+    """Train the whole config pool as one cross-config slab.
+
+    All configs share the dataset's architecture, so the fused pool merges
+    every config's cohort into one slab and advances the pool checkpoint
+    to checkpoint in lockstep, evaluating each trainer at each stop —
+    the same visitation the per-config loop performs, with each trainer
+    owning its serially-pre-drawn seed and RNG stream.
+    """
+    from repro.fl.fused import FusedTrainerPool
+
+    trainers = [
+        config_to_trainer(
+            {key: v for key, v in cfg.items() if key != BANK_ID_KEY},
+            dataset,
+            clients_per_round=clients_per_round,
+            scheme=scheme,
+            seed=seeds[k],
+            cohort_mode="fused",
+        )
+        for k, cfg in enumerate(configs)
+    ]
+    pool = FusedTrainerPool()
+    errors = [np.empty((len(ckpts), dataset.num_eval_clients)) for _ in trainers]
+    params = [
+        np.empty((len(ckpts), t.params.size)) if store_params else None for t in trainers
+    ]
+    for c, rounds in enumerate(ckpts):
+        pool.advance(trainers, [rounds - t.rounds_completed for t in trainers])
+        for k, trainer in enumerate(trainers):
+            errors[k][c] = trainer.eval_error_rates()
+            if store_params:
+                params[k][c] = trainer.params
+    return list(zip(errors, params))
+
+
 def checkpoint_schedule(max_rounds: int, eta: int = 3) -> List[int]:
     """η-spaced checkpoints ``[0, r_min, ..., max_rounds]`` matching SHA rungs."""
     if max_rounds < 1:
@@ -133,9 +188,15 @@ class ConfigBank:
         trainer seed is drawn serially before dispatch, so the parallel
         build is bit-identical to the serial one.
 
-        ``cohort_mode`` selects per-trainer cohort training ("vectorized"
-        lockstep slabs vs "serial" per-client loops; ``None`` resolves from
-        ``$REPRO_COHORT_VECTOR``) — see :mod:`repro.fl.cohort`.
+        ``cohort_mode`` selects cohort training ("vectorized" lockstep
+        slabs vs "serial" per-client loops; ``None`` resolves from
+        ``$REPRO_COHORT_VECTOR``) — see :mod:`repro.fl.cohort`. "fused"
+        goes further when the build is in-process (no multi-worker
+        executor): the whole config pool advances checkpoint to checkpoint
+        as one cross-config parameter slab
+        (:class:`repro.fl.fused.FusedTrainerPool`), every config's cohort
+        in lockstep. With a multi-worker executor, "fused" defers to
+        process parallelism and each worker's trainer runs vectorized.
         """
         rng = as_rng(seed)
         if configs is None:
@@ -160,10 +221,16 @@ class ConfigBank:
         # Trainer seeds are drawn serially (one rng stream, config order)
         # regardless of how the training is executed.
         seeds = [int(rng.integers(0, 2**63 - 1)) for _ in configs]
-        payload = (
-            dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_mode,
-        )
-        results = executor.map(_build_config_task, range(n_configs), payload=payload)
+        cohort_mode = effective_build_mode(cohort_mode, executor)
+        if cohort_mode == "fused":
+            results = _build_fused(
+                dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params
+            )
+        else:
+            payload = (
+                dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_mode,
+            )
+            results = executor.map(_build_config_task, range(n_configs), payload=payload)
         errors = np.empty((n_configs, len(ckpts), n_clients))
         params_store = None
         for k, (cfg_errors, cfg_params) in enumerate(results):

@@ -120,11 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--cohort-mode",
-        choices=("serial", "vectorized"),
+        choices=("serial", "vectorized", "fused"),
         default=None,
         help=(
-            "per-round cohort training path: 'vectorized' lockstep slabs or "
-            "'serial' per-client loops (default: $REPRO_COHORT_VECTOR, else serial)"
+            "cohort training path: 'serial' per-client loops, 'vectorized' "
+            "per-trainer lockstep slabs, or 'fused' cross-trial slabs (whole "
+            "rungs/bank pools train as one slab; default: $REPRO_COHORT_VECTOR, "
+            "else serial)"
         ),
     )
     return parser

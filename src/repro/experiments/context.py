@@ -62,11 +62,13 @@ class ExperimentContext:
         in is explicit).
     n_workers : worker processes for bank builds (``$REPRO_WORKERS`` when
         unset; both unset means serial).
-    cohort_mode : "vectorized" or "serial" per-round cohort training for
+    cohort_mode : "serial", "vectorized", or "fused" cohort training for
         every trainer this context builds (``$REPRO_COHORT_VECTOR`` when
-        unset; see :mod:`repro.fl.cohort`). Part of the bank-store cache
-        key when vectorized, since lockstep padding can perturb results at
-        float tolerance.
+        unset; see :mod:`repro.fl.cohort`). "fused" additionally trains
+        whole in-process bank builds as one cross-config slab
+        (:mod:`repro.fl.fused`). Non-serial modes join the bank-store
+        cache key, since lockstep padding can perturb results at float
+        tolerance.
     """
 
     def __init__(
@@ -142,17 +144,24 @@ class ExperimentContext:
             self._banks[key_without] = self._build_bank(name, store_params=False)
         return self._banks[key_without]
 
-    def _build_bank(self, name: str, store_params: bool) -> ConfigBank:
-        if self.bank_store is None:
-            return self._train_bank(name, store_params)
+    def bank_key_fields(self, name: str, store_params: bool = False) -> Dict:
+        """The :class:`BankStore` key a bank build of ``name`` maps to.
+
+        Keys carry the *effective* cohort mode of the build
+        (:func:`repro.experiments.bank.effective_build_mode`): "fused"
+        degrades to "vectorized" under a multi-worker executor, and those
+        builds are bit-identical, so they share one entry. Serial keys
+        stay unchanged (pre-vectorization caches remain valid); every
+        non-serial mode gets its own entries.
+        """
         from repro.engine.bank_store import BankStore
+        from repro.experiments.bank import effective_build_mode
 
         extra = {}
-        if self.cohort_mode != "serial":
-            # Serial keys stay unchanged (pre-vectorization caches remain
-            # valid); vectorized builds get their own cache entries.
-            extra["cohort_mode"] = self.cohort_mode
-        fields = BankStore.key_fields(
+        mode = effective_build_mode(self.cohort_mode, self.executor)
+        if mode != "serial":
+            extra["cohort_mode"] = mode
+        return BankStore.key_fields(
             dataset=name,
             preset=self.preset,
             seed=self.seed,
@@ -163,8 +172,13 @@ class ExperimentContext:
             store_params=store_params,
             **extra,
         )
+
+    def _build_bank(self, name: str, store_params: bool) -> ConfigBank:
+        if self.bank_store is None:
+            return self._train_bank(name, store_params)
         return self.bank_store.get_or_build(
-            fields, lambda: self._train_bank(name, store_params)
+            self.bank_key_fields(name, store_params),
+            lambda: self._train_bank(name, store_params),
         )
 
     def _train_bank(self, name: str, store_params: bool) -> ConfigBank:

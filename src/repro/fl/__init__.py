@@ -8,7 +8,15 @@ Reddi et al. 2020) to the pseudo-gradient.
 """
 
 from repro.fl.client import ClientTrainer, evaluate_client
-from repro.fl.cohort import COHORT_VECTOR_ENV, CohortTrainer, resolve_cohort_mode
+from repro.fl.cohort import (
+    COHORT_MODES,
+    COHORT_VECTOR_ENV,
+    CohortTrainer,
+    SlabGroup,
+    SlabTrainer,
+    resolve_cohort_mode,
+)
+from repro.fl.fused import FusedTrainerPool
 from repro.fl.server import (
     FedAdagrad,
     FedAdam,
@@ -31,7 +39,11 @@ __all__ = [
     "ClientTrainer",
     "evaluate_client",
     "CohortTrainer",
+    "COHORT_MODES",
     "COHORT_VECTOR_ENV",
+    "FusedTrainerPool",
+    "SlabGroup",
+    "SlabTrainer",
     "resolve_cohort_mode",
     "ServerOptimizer",
     "FedAvg",

@@ -1,34 +1,51 @@
-"""Vectorized cohort training: all clients of a round in lockstep.
+"""Vectorized cohort training: slab-agnostic lockstep SGD over client rows.
 
 :class:`repro.fl.trainer.FederatedTrainer.run_round` historically trained
 its cohort one client at a time through :class:`~repro.fl.client.ClientTrainer`
-— hundreds of small-array layer calls per round. :class:`CohortTrainer`
-replaces that loop with lockstep SGD over a :class:`~repro.nn.stacked.StackedModel`:
-every client's parameters live in one ``(C, P)`` slab, every local step is
-one batched forward/backward over a ``(C, B, ...)`` stacked batch, and the
-optimizer update is one fused whole-slab call
+— hundreds of small-array layer calls per round. This module replaces that
+loop with lockstep SGD over a :class:`~repro.nn.stacked.StackedModel`: every
+participating client's parameters live in one ``(R, P)`` slab, every local
+step is one batched forward/backward over an ``(R, B, ...)`` stacked batch,
+and the optimizer update is one fused whole-slab call
 (:func:`repro.nn.optim.fused_sgd_step`).
 
-Equivalence contract (asserted in ``tests/fl/test_cohort.py``):
+The compute core, :class:`SlabTrainer`, is *slab-agnostic*: it trains a
+list of :class:`SlabGroup` row groups, where each group carries its own
+round-start parameters and hyperparameters (lr / momentum / weight decay /
+FedProx mu broadcast per slab row via the per-row vector form of
+:func:`~repro.nn.optim.fused_sgd_step`). Two callers share it:
+
+- :class:`CohortTrainer` — one group: a single trainer's cohort, the PR 2
+  execution mode (``cohort_mode="vectorized"``).
+- :class:`repro.fl.fused.FusedTrainerPool` — many groups: one per trial of
+  a tuner rung, fusing a whole ``advance_many`` batch into a ``(T*C, P)``
+  mega-slab (``cohort_mode="fused"``).
+
+Equivalence contract (asserted in ``tests/fl/test_cohort.py`` and
+``tests/fl/test_fused.py``):
 
 - **RNG stream.** Batch permutations are pre-drawn from the shared trainer
   RNG in exactly the order the serial loop draws them (client by client,
-  epoch by epoch; local training consumes no other draws), so the
-  generator's end state is identical to the serial path's.
+  epoch by epoch), and Dropout masks are pre-drawn from each layer's own
+  generator in serial visit order (:class:`~repro.nn.stacked.StackedDropout`),
+  so every generator's end state is identical to the serial path's.
 - **Trajectories.** Per-step, per-client math matches the serial
   :class:`~repro.fl.client.ClientTrainer` kernel for kernel. When every
-  active client's batch at a lockstep step has equal size (no padding),
+  active row's batch at a lockstep step has equal size (no padding),
   the round is bit-identical to serial; ragged steps pad short batches
   with loss-masked copies of a real row, which leaves gradient *sums*
   unchanged and perturbs only per-client reduction order (~1e-15
   relative per round; tests assert rtol=1e-8 over few-round windows).
-- **Fallback.** Any client producing a non-finite loss mid-round aborts
-  the vectorized attempt, restores the RNG snapshot, and reports failure;
-  the caller reruns the round serially, reproducing serial semantics
-  exactly (including the diverged client's early stop and its effect on
-  later epoch permutation draws).
+- **Fallback.** A client producing a non-finite loss mid-round fails *its
+  group only*: the group's rows keep occupying the slab (row math is
+  independent, so neighbours are unaffected bit-for-bit) but its results
+  are discarded, and the caller reruns that trainer's round serially after
+  restoring its RNG snapshots — reproducing serial semantics exactly
+  (including the diverged client's early stop and its effect on later
+  draws). When *every* group has failed the attempt aborts early, which
+  for the single-group :class:`CohortTrainer` is the PR 2 behavior.
 
-Clients are processed sorted by local step count (stable descending), so
+Rows are processed sorted by local step count (stable descending), so
 finished clients retire from a shrinking *prefix* of the slab — ragged
 cohorts never pay masked no-op steps.
 """
@@ -36,6 +53,7 @@ cohorts never pay masked no-op steps.
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -43,13 +61,24 @@ import numpy as np
 from repro.datasets.base import ClientData, TaskSpec
 from repro.nn.module import Module
 from repro.nn.optim import fused_sgd_step
-from repro.nn.stacked import STACKED_LOSSES, StackedModel, supports_stacking
+from repro.nn.stacked import (
+    STACKED_LOSSES,
+    StackedDropout,
+    StackedModel,
+    collect_dropout_rngs,
+    supports_stacking,
+)
 
-#: Environment switch for the default cohort mode: truthy values ("1",
-#: "true", "yes", "on", "vectorized") select the vectorized path.
+#: Environment switch for the default cohort mode. Accepted values:
+#: falsy ("", "0", "false", "no", "off") or "serial" -> serial;
+#: truthy ("1", "true", "yes", "on") or "vectorized" -> vectorized;
+#: "fused" -> fused. Anything else is an error (not a silent fallback).
 COHORT_VECTOR_ENV = "REPRO_COHORT_VECTOR"
 
-COHORT_MODES = ("serial", "vectorized")
+COHORT_MODES = ("serial", "vectorized", "fused")
+
+_ENV_SERIAL = ("", "0", "false", "no", "off", "serial")
+_ENV_VECTORIZED = ("1", "true", "yes", "on", "vectorized")
 
 
 def resolve_cohort_mode(mode: Optional[str] = None) -> str:
@@ -57,21 +86,401 @@ def resolve_cohort_mode(mode: Optional[str] = None) -> str:
 
     ``None`` consults ``$REPRO_COHORT_VECTOR`` (unset/falsy -> "serial",
     so vectorization is opt-in, like ``REPRO_WORKERS``/``REPRO_BANK_CACHE``).
+    Unknown values — explicit or from the environment — raise instead of
+    silently degrading to serial.
     """
     if mode is None:
         raw = os.environ.get(COHORT_VECTOR_ENV, "").strip().lower()
-        return "vectorized" if raw in ("1", "true", "yes", "on", "vectorized") else "serial"
+        if raw in _ENV_SERIAL:
+            return "serial"
+        if raw in _ENV_VECTORIZED:
+            return "vectorized"
+        if raw == "fused":
+            return "fused"
+        raise ValueError(
+            f"${COHORT_VECTOR_ENV} must be one of {COHORT_MODES} or a boolean "
+            f"flag ('1'/'0', 'true'/'false', 'yes'/'no', 'on'/'off'), got {raw!r}"
+        )
     if mode not in COHORT_MODES:
         raise ValueError(f"cohort_mode must be one of {COHORT_MODES}, got {mode!r}")
     return mode
 
 
-class CohortTrainer:
-    """Lockstep local SGD for a fixed-size client cohort.
+@dataclass
+class SlabGroup:
+    """One row group of a lockstep slab: a trainer's cohort for one round.
 
-    Construct via :meth:`maybe_build`, which returns ``None`` for model or
-    loss families without stacked kernels (recurrent text models, Dropout
-    models) — the caller then keeps the serial per-client path.
+    ``start`` is the group's round-start global parameter vector (every row
+    initializes from it, and FedProx anchors to it). ``perms`` are the
+    pre-drawn batch permutations, ``perms[i][e]`` for client ``i`` epoch
+    ``e``, drawn by the caller from the owning trainer's RNG in serial
+    order. ``dropout_rngs`` are the owning *template model's* active
+    Dropout generators (see :func:`repro.nn.stacked.collect_dropout_rngs`),
+    one per active Dropout layer, so fused groups draw their masks from
+    their own trainers' streams.
+    """
+
+    start: np.ndarray
+    clients: Sequence[ClientData]
+    perms: Sequence[Sequence[np.ndarray]]
+    lr: float
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    prox_mu: float = 0.0
+    batch_size: int = 32
+    epochs: int = 1
+    dropout_rngs: Sequence[np.random.Generator] = field(default_factory=tuple)
+
+
+class SlabTrainer:
+    """Slab-agnostic lockstep local SGD over row groups.
+
+    One instance is reused across rounds (and, for the fused runner,
+    across trials): the stacked model, its slab, the velocity buffer, and
+    the batch-assembly buffers are allocated once and grown on demand via
+    :meth:`ensure_capacity`.
+    """
+
+    def __init__(self, task: TaskSpec, template: Module, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        stacked_loss = STACKED_LOSSES.get(task.loss_fn)
+        if stacked_loss is None:
+            raise ValueError(f"no stacked counterpart for loss {task.loss_fn!r}")
+        if not supports_stacking(template):
+            raise ValueError(
+                f"model {type(template).__name__} contains layers without stacked kernels"
+            )
+        self.task = task
+        self.template = template
+        self._loss = stacked_loss
+        self.capacity = 0
+        self._stacked: Optional[StackedModel] = None
+        self._dropouts: List[StackedDropout] = []
+        self._velocity: Optional[np.ndarray] = None
+        self._anchors: Optional[np.ndarray] = None
+        self._work: Optional[np.ndarray] = None
+        # Batch-assembly buffers, (re)allocated lazily by example shape.
+        self._xbuf: Optional[np.ndarray] = None
+        self._ybuf: Optional[np.ndarray] = None
+        self._mbuf: Optional[np.ndarray] = None
+        self.ensure_capacity(capacity)
+
+    @property
+    def n_params(self) -> int:
+        return self._stacked.n_params
+
+    def ensure_capacity(self, rows: int) -> None:
+        """Grow the slab (and every row-shaped buffer) to hold ``rows``."""
+        if rows <= self.capacity:
+            return
+        self._stacked = StackedModel(self.template, rows)
+        self._dropouts = [
+            layer
+            for layer in self._stacked.layers
+            if isinstance(layer, StackedDropout) and layer.rate > 0
+        ]
+        self.capacity = rows
+        self._work = np.empty_like(self._stacked.slab)
+        self._velocity = None
+        self._anchors = None
+        self._xbuf = self._ybuf = self._mbuf = None
+
+    # -- internals -----------------------------------------------------------
+    def _ensure_batch_buffers(self, x0: np.ndarray, y0: np.ndarray, width: int) -> None:
+        # Grow-only: a buffer at least `width` wide is sliced per step, so
+        # alternating round widths never thrash allocations.
+        if (
+            self._xbuf is None
+            or self._xbuf.dtype != x0.dtype
+            or self._xbuf.shape[0] < self.capacity
+            or self._xbuf.shape[1] < width
+            or self._xbuf.shape[2:] != x0.shape[1:]
+            or self._ybuf.shape[2:] != y0.shape[1:]
+            or self._ybuf.dtype != y0.dtype
+        ):
+            width = max(width, self._xbuf.shape[1] if self._xbuf is not None else 0)
+            self._xbuf = np.empty((self.capacity, width) + x0.shape[1:], dtype=x0.dtype)
+            self._ybuf = np.empty((self.capacity, width) + y0.shape[1:], dtype=y0.dtype)
+            self._mbuf = np.empty((self.capacity, width), dtype=np.float64)
+
+    def train_groups(self, groups: Sequence[SlabGroup], outs: Sequence[np.ndarray]) -> List[bool]:
+        """Run every group's local training in one lockstep slab.
+
+        Writes each *successful* group's updated flat parameters into its
+        ``outs`` entry (shape ``(len(group.clients), P)``, cohort order)
+        and returns per-group success flags. A failed group (some client's
+        loss went non-finite) leaves its ``outs`` entry unspecified; the
+        caller must restore that trainer's RNG snapshots and rerun its
+        round serially. Generator state of *successful* groups is final —
+        permutations were pre-drawn by the caller and dropout masks are
+        consumed here in serial order.
+        """
+        n_groups = len(groups)
+        if n_groups == 0:
+            return []
+        if len(outs) != n_groups:
+            raise ValueError(f"expected {n_groups} output buffers, got {len(outs)}")
+        for gi, group in enumerate(groups):
+            if len(group.clients) < 1:
+                raise ValueError(f"group {gi} has no clients")
+            if outs[gi].shape != (len(group.clients), self.n_params):
+                raise ValueError(
+                    f"outs[{gi}] must be {(len(group.clients), self.n_params)}, "
+                    f"got {outs[gi].shape}"
+                )
+            if self._dropouts and len(group.dropout_rngs) != len(self._dropouts):
+                raise ValueError(
+                    f"group {gi} supplies {len(group.dropout_rngs)} dropout generators, "
+                    f"model has {len(self._dropouts)} active Dropout layers"
+                )
+        # Flat row tables: row r is client `clients_flat[r]` of group
+        # `group_of_row[r]` (groups are contiguous blocks of rows). Plain
+        # lists — at cohort scale, numpy call overhead would dominate.
+        group_sizes = [len(g.clients) for g in groups]
+        clients_flat = [c for g in groups for c in g.clients]
+        perms_flat = [p for g in groups for p in g.perms]
+        n_rows = len(clients_flat)
+        self.ensure_capacity(n_rows)
+        group_of_row = [gi for gi, size in enumerate(group_sizes) for _ in range(size)]
+        row_base = [0]
+        for size in group_sizes:
+            row_base.append(row_base[-1] + size)
+        ns = [c.n for c in clients_flat]
+        step_counts = [
+            groups[gi].epochs * -(-n // groups[gi].batch_size)
+            for gi, n in zip(group_of_row, ns)
+        ]
+
+        # Process rows sorted by step count (stable descending) so the
+        # active set is always a prefix of the slab. When every row has the
+        # same step count (the common rung/bank shape) the sort is skipped
+        # — ordering of independent rows never affects the math.
+        if min(step_counts) == max(step_counts):
+            order = pos_of_row = range(n_rows)
+            steps_sorted = step_counts
+            group_of_pos = group_of_row
+        else:
+            order = sorted(range(n_rows), key=lambda r: -step_counts[r])
+            steps_sorted = [step_counts[r] for r in order]
+            group_of_pos = [group_of_row[r] for r in order]
+            pos_of_row = [0] * n_rows
+            for pos, r in enumerate(order):
+                pos_of_row[r] = pos
+        # Uniform-schedule fast path: when every row shares one
+        # (n, batch_size, epochs) triple — balanced partitions, and every
+        # rung/bank build over them — the permuted data pre-stacks into one
+        # (R, epochs*n, ...) array per round and each lockstep step's batch
+        # is a zero-copy *slice* of it: no per-row assembly, no padding, no
+        # mask, no retirement bookkeeping. Values are identical to the
+        # general path's buffer fills (same elements, viewed in place).
+        uniform_schedule = min(ns) == max(ns) and all(
+            (g.batch_size, g.epochs) == (groups[0].batch_size, groups[0].epochs)
+            for g in groups[1:]
+        )
+        perm_x: List[List[np.ndarray]] = []
+        perm_y: List[List[np.ndarray]] = []
+        schedule: List[List[Tuple[int, int, int]]]
+        stacked_x = stacked_y = None
+        if uniform_schedule:
+            n_ex, u_bsz, u_epochs = int(ns[0]), groups[0].batch_size, groups[0].epochs
+            first = clients_flat[0]
+            stacked_x = np.empty((n_rows, u_epochs * n_ex) + first.x.shape[1:], dtype=first.x.dtype)
+            stacked_y = np.empty((n_rows, u_epochs * n_ex) + first.y.shape[1:], dtype=first.y.dtype)
+            for r in range(n_rows):
+                client = clients_flat[r]
+                pos = pos_of_row[r]
+                for e, perm in enumerate(perms_flat[r]):
+                    stacked_x[pos, e * n_ex : (e + 1) * n_ex] = client.x[perm]
+                    stacked_y[pos, e * n_ex : (e + 1) * n_ex] = client.y[perm]
+            # One schedule shared by every row; the generic plumbing below
+            # (dropout plans, step sizes) reads schedule[pos] as before.
+            shared_schedule = [
+                (e, s, min(u_bsz, n_ex - s))
+                for e in range(u_epochs)
+                for s in range(0, n_ex, u_bsz)
+            ]
+            schedule = [shared_schedule] * n_rows
+        else:
+            # Per sorted position: permuted data per epoch, and the (epoch,
+            # start, size) schedule per lockstep step.
+            schedule = []
+            for pos in range(n_rows):
+                r = int(order[pos])
+                group = groups[int(group_of_row[r])]
+                client = clients_flat[r]
+                bsz = group.batch_size
+                perm_x.append([client.x[p] for p in perms_flat[r]])
+                perm_y.append([client.y[p] for p in perms_flat[r]])
+                schedule.append(
+                    [
+                        (e, s, min(bsz, client.n - s))
+                        for e in range(group.epochs)
+                        for s in range(0, client.n, bsz)
+                    ]
+                )
+
+        # Hyperparameters: per knob, one scalar when uniform across groups
+        # (the single-trainer path; and e.g. the fixed weight decay of the
+        # paper's search space even when lr/momentum differ per trial),
+        # else a per-row vector in sorted row order. Scalar ufunc operands
+        # are cheaper than column broadcasts, so uniformity is detected
+        # knob by knob.
+        def row_hp(attr):
+            v0 = getattr(groups[0], attr)
+            if all(getattr(g, attr) == v0 for g in groups[1:]):
+                return v0
+            return np.array([getattr(groups[gi], attr) for gi in group_of_pos])
+
+        def hp_slice(hp, k):
+            return hp[:k] if isinstance(hp, np.ndarray) else hp
+
+        lr_rows = row_hp("lr")
+        mom_rows = row_hp("momentum")
+        wd_rows = row_hp("weight_decay")
+        prox_raw = row_hp("prox_mu")
+        mom_any = bool(np.any(mom_rows))
+        prox_any = bool(np.any(prox_raw))
+        prox_rows = prox_raw[:, None] if isinstance(prox_raw, np.ndarray) else prox_raw
+
+        model = self._stacked
+        model.train()
+        slab, gslab = model.slab, model.grad_slab
+        if n_groups == 1:
+            slab[:n_rows] = np.asarray(groups[0].start, dtype=np.float64)
+        else:
+            starts = np.stack([np.asarray(g.start, dtype=np.float64) for g in groups])
+            slab[:n_rows] = starts[group_of_pos]
+        if mom_any:
+            if self._velocity is None:
+                self._velocity = np.zeros_like(slab)
+            else:
+                self._velocity[:n_rows].fill(0.0)
+        if prox_any:
+            if self._anchors is None:
+                self._anchors = np.empty_like(slab)
+            self._anchors[:n_rows] = slab[:n_rows]
+        if not uniform_schedule:
+            max_width = max(
+                min(groups[gi].batch_size, n) for gi, n in zip(group_of_row, ns)
+            )
+            first = clients_flat[0]
+            self._ensure_batch_buffers(first.x, first.y, max_width)
+        xbuf, ybuf, mbuf = self._xbuf, self._ybuf, self._mbuf
+
+        # Dropout mask pre-draw plans: per stacked layer, entries in serial
+        # visit order (group by group, cohort order within) pointing at the
+        # row's sorted slab position. Masks are drawn lazily at the round's
+        # first forward (see StackedDropout).
+        if self._dropouts:
+            for d_idx, layer in enumerate(self._dropouts):
+                plan = []
+                for gi, group in enumerate(groups):
+                    rng = group.dropout_rngs[d_idx]
+                    for ci in range(len(group.clients)):
+                        pos = int(pos_of_row[row_base[gi] + ci])
+                        plan.append((rng, [b for _, _, b in schedule[pos]], pos))
+                layer.begin_round(plan)
+
+        failed = [False] * n_groups
+        n_failed = 0
+        max_steps = int(steps_sorted[0])
+        active = n_rows
+        work = self._work
+        # Divergence (lr too large) is a designed code path, as in the
+        # serial ClientTrainer: overflow is caught by the loss check.
+        with np.errstate(over="ignore", invalid="ignore"):
+            for t in range(max_steps):
+                if uniform_schedule:
+                    # Every row takes the same-size batch from the same
+                    # offset of its pre-stacked data: zero-copy views, no
+                    # padding, no retirement (all step counts are equal).
+                    k = n_rows
+                    e, s, b = schedule[0][t]
+                    xb = stacked_x[:, e * n_ex + s : e * n_ex + s + b]
+                    yb = stacked_y[:, e * n_ex + s : e * n_ex + s + b]
+                    mask = None
+                else:
+                    while active > 0 and steps_sorted[active - 1] <= t:
+                        active -= 1
+                    k = active
+                    sizes = [schedule[pos][t][2] for pos in range(k)]
+                    width = max(sizes)
+                    ragged = min(sizes) < width
+                    xb = xbuf[:k, :width]
+                    yb = ybuf[:k, :width]
+                    for pos in range(k):
+                        e, s, b = schedule[pos][t]
+                        xb[pos, :b] = perm_x[pos][e][s : s + b]
+                        yb[pos, :b] = perm_y[pos][e][s : s + b]
+                        if b < width:
+                            # Pad with copies of the batch's first real row
+                            # so forward values stay finite; the mask
+                            # removes them from loss and gradients.
+                            xb[pos, b:] = xb[pos, :1]
+                            yb[pos, b:] = yb[pos, 0]
+                        if ragged:
+                            mbuf[pos, :b] = 1.0
+                            mbuf[pos, b:width] = 0.0
+                    # A uniform step skips the mask entirely, keeping
+                    # per-client loss arithmetic bit-identical to the
+                    # serial batch mean.
+                    mask = mbuf[:k, :width] if ragged else None
+                for layer in self._dropouts:
+                    layer.set_step(t)
+                gslab[:k].fill(0.0)
+                logits = model.forward(xb)
+                losses, dlogits = self._loss(logits, yb, mask)
+                finite = np.isfinite(losses)
+                if not finite.all():
+                    # A client diverged: its whole group falls back to a
+                    # serial rerun by the caller. Other groups' rows are
+                    # independent and keep training unaffected.
+                    for pos in np.nonzero(~finite)[0]:
+                        gi = int(group_of_pos[pos])
+                        if not failed[gi]:
+                            failed[gi] = True
+                            n_failed += 1
+                    if n_failed == n_groups:
+                        return [False] * n_groups
+                model.backward(dlogits)
+                grads = gslab[:k]
+                if prox_any:
+                    # FedProx proximal pull towards the group's round-start
+                    # parameters, added to the raw gradient exactly where
+                    # the serial path adds it (before weight decay).
+                    np.subtract(slab[:k], self._anchors[:k], out=work[:k])
+                    work[:k] *= hp_slice(prox_rows, k)
+                    grads += work[:k]
+                fused_sgd_step(
+                    slab[:k],
+                    grads,
+                    lr=hp_slice(lr_rows, k),
+                    momentum=hp_slice(mom_rows, k),
+                    weight_decay=hp_slice(wd_rows, k),
+                    velocity=self._velocity[:k] if mom_any else None,
+                    work=work[:k],
+                )
+        identity = isinstance(pos_of_row, range)
+        for gi in range(n_groups):
+            if not failed[gi]:
+                # One gather per group: its rows' slab positions, cohort order.
+                if identity:
+                    outs[gi][...] = slab[row_base[gi] : row_base[gi + 1]]
+                else:
+                    outs[gi][...] = slab[pos_of_row[row_base[gi] : row_base[gi + 1]]]
+        return [not f for f in failed]
+
+
+class CohortTrainer:
+    """Lockstep local SGD for a fixed-size client cohort (one trainer).
+
+    A thin single-group wrapper over :class:`SlabTrainer`: it pre-draws the
+    batch permutations from the shared trainer RNG in serial order,
+    snapshots every generator the attempt consumes, and restores them on
+    failure so the caller's serial rerun reproduces serial semantics
+    exactly. Construct via :meth:`maybe_build`, which returns ``None`` for
+    model or loss families without stacked kernels.
 
     One instance is reused across rounds: the stacked model, its slab, the
     velocity buffer, and the batch-assembly buffers are allocated once.
@@ -91,9 +500,6 @@ class CohortTrainer:
     ):
         if cohort_size < 1:
             raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
-        stacked_loss = STACKED_LOSSES.get(task.loss_fn)
-        if stacked_loss is None:
-            raise ValueError(f"no stacked counterpart for loss {task.loss_fn!r}")
         self.task = task
         self.cohort_size = cohort_size
         self.lr = lr
@@ -102,16 +508,14 @@ class CohortTrainer:
         self.batch_size = batch_size
         self.epochs = epochs
         self.prox_mu = prox_mu
-        self._loss = stacked_loss
-        self._stacked = StackedModel(template, cohort_size)
-        self._velocity = (
-            np.zeros_like(self._stacked.slab) if momentum else None
-        )
-        self._work = np.empty_like(self._stacked.slab)
-        # Batch-assembly buffers, (re)allocated lazily by example shape.
-        self._xbuf: Optional[np.ndarray] = None
-        self._ybuf: Optional[np.ndarray] = None
-        self._mbuf: Optional[np.ndarray] = None
+        self._slab = SlabTrainer(task, template, cohort_size)
+        self._dropout_rngs = collect_dropout_rngs(template)
+
+    @staticmethod
+    def supports(task: TaskSpec, template: Module) -> bool:
+        """Whether this task/model pair has lockstep kernels (without
+        paying for a slab — the fused path checks this per trial)."""
+        return supports_stacking(template) and task.loss_fn in STACKED_LOSSES
 
     @classmethod
     def maybe_build(
@@ -123,19 +527,9 @@ class CohortTrainer:
     ) -> Optional["CohortTrainer"]:
         """A :class:`CohortTrainer` when the model family supports stacking,
         else ``None`` (serial fallback)."""
-        if not supports_stacking(template) or task.loss_fn not in STACKED_LOSSES:
+        if not cls.supports(task, template):
             return None
         return cls(task, template, cohort_size, **hps)
-
-    # -- internals -----------------------------------------------------------
-    def _ensure_buffers(self, x0: np.ndarray, y0: np.ndarray) -> None:
-        xshape = (self.cohort_size, self.batch_size) + x0.shape[1:]
-        if self._xbuf is None or self._xbuf.shape != xshape or self._xbuf.dtype != x0.dtype:
-            self._xbuf = np.empty(xshape, dtype=x0.dtype)
-            self._ybuf = np.empty(
-                (self.cohort_size, self.batch_size) + y0.shape[1:], dtype=y0.dtype
-            )
-            self._mbuf = np.empty((self.cohort_size, self.batch_size), dtype=np.float64)
 
     def train_cohort(
         self,
@@ -148,108 +542,33 @@ class CohortTrainer:
 
         Writes each client's updated flat parameters into ``out`` (shape
         ``(len(clients), P)``, cohort order) and returns True. Returns
-        False — with ``rng`` restored to its entry state and ``out``
-        unspecified — when any client's loss goes non-finite; the caller
-        must then rerun the round serially.
+        False — with ``rng`` (and any Dropout generators) restored to
+        their entry state and ``out`` unspecified — when any client's loss
+        goes non-finite; the caller must then rerun the round serially.
         """
         n_clients = len(clients)
         if n_clients != self.cohort_size:
             raise ValueError(f"expected cohort of {self.cohort_size}, got {n_clients}")
-        if out.shape != (n_clients, self._stacked.n_params):
-            raise ValueError(
-                f"out must be {(n_clients, self._stacked.n_params)}, got {out.shape}"
-            )
         rng_snapshot = rng.bit_generator.state
-        bsz, epochs = self.batch_size, self.epochs
+        dropout_snapshots = [r.bit_generator.state for r in self._dropout_rngs]
         # Pre-draw batch permutations in the serial loop's exact RNG order:
         # client by client (cohort order), epoch by epoch.
-        perms = [[rng.permutation(c.n) for _ in range(epochs)] for c in clients]
-
-        # Process clients sorted by step count (stable descending) so the
-        # active set is always a prefix of the slab.
-        step_counts = np.array([epochs * -(-c.n // bsz) for c in clients])
-        order = np.argsort(-step_counts, kind="stable")
-        steps_sorted = step_counts[order]
-        # Per sorted position: permuted data per epoch, and the (epoch,
-        # start, size) schedule per lockstep step.
-        perm_x: List[List[np.ndarray]] = []
-        perm_y: List[List[np.ndarray]] = []
-        schedule: List[List[Tuple[int, int, int]]] = []
-        for pos in range(n_clients):
-            i = int(order[pos])
-            client = clients[i]
-            perm_x.append([client.x[p] for p in perms[i]])
-            perm_y.append([client.y[p] for p in perms[i]])
-            schedule.append(
-                [
-                    (e, s, min(bsz, client.n - s))
-                    for e in range(epochs)
-                    for s in range(0, client.n, bsz)
-                ]
-            )
-
-        model = self._stacked
-        model.train()
-        model.set_flat(global_params)
-        slab, gslab = model.slab, model.grad_slab
-        if self._velocity is not None:
-            self._velocity.fill(0.0)
-        self._ensure_buffers(clients[0].x, clients[0].y)
-        xbuf, ybuf, mbuf = self._xbuf, self._ybuf, self._mbuf
-
-        max_steps = int(steps_sorted[0])
-        active = n_clients
-        # Divergence (lr too large) is a designed code path, as in the
-        # serial ClientTrainer: overflow is caught by the loss check.
-        with np.errstate(over="ignore", invalid="ignore"):
-            for t in range(max_steps):
-                while active > 0 and steps_sorted[active - 1] <= t:
-                    active -= 1
-                k = active
-                sizes = [schedule[pos][t][2] for pos in range(k)]
-                width = max(sizes)
-                ragged = min(sizes) < width
-                xb = xbuf[:k, :width]
-                yb = ybuf[:k, :width]
-                for pos in range(k):
-                    e, s, b = schedule[pos][t]
-                    xb[pos, :b] = perm_x[pos][e][s : s + b]
-                    yb[pos, :b] = perm_y[pos][e][s : s + b]
-                    if b < width:
-                        # Pad with copies of the batch's first real row so
-                        # forward values stay finite; the mask removes them
-                        # from loss and gradients.
-                        xb[pos, b:] = xb[pos, :1]
-                        yb[pos, b:] = yb[pos, 0]
-                    if ragged:
-                        mbuf[pos, :b] = 1.0
-                        mbuf[pos, b:width] = 0.0
-                # A uniform step skips the mask entirely, keeping per-client
-                # loss arithmetic bit-identical to the serial batch mean.
-                mask = mbuf[:k, :width] if ragged else None
-                gslab[:k].fill(0.0)
-                logits = model.forward(xb)
-                losses, dlogits = self._loss(logits, yb, mask)
-                if not np.all(np.isfinite(losses)):
-                    # A client diverged: replay the whole round serially so
-                    # its early-stop semantics (and RNG draws) match exactly.
-                    rng.bit_generator.state = rng_snapshot
-                    return False
-                model.backward(dlogits)
-                grads = gslab[:k]
-                if self.prox_mu > 0:
-                    # FedProx proximal pull towards the round's global
-                    # parameters, added to the raw gradient exactly where
-                    # the serial path adds it (before weight decay).
-                    grads += self.prox_mu * (slab[:k] - global_params[None, :])
-                fused_sgd_step(
-                    slab[:k],
-                    grads,
-                    lr=self.lr,
-                    momentum=self.momentum,
-                    weight_decay=self.weight_decay,
-                    velocity=self._velocity[:k] if self._velocity is not None else None,
-                    work=self._work[:k],
-                )
-        out[order] = slab
-        return True
+        perms = [[rng.permutation(c.n) for _ in range(self.epochs)] for c in clients]
+        group = SlabGroup(
+            start=global_params,
+            clients=clients,
+            perms=perms,
+            lr=self.lr,
+            momentum=self.momentum,
+            weight_decay=self.weight_decay,
+            prox_mu=self.prox_mu,
+            batch_size=self.batch_size,
+            epochs=self.epochs,
+            dropout_rngs=self._dropout_rngs,
+        )
+        if self._slab.train_groups([group], [out])[0]:
+            return True
+        rng.bit_generator.state = rng_snapshot
+        for r, state in zip(self._dropout_rngs, dropout_snapshots):
+            r.bit_generator.state = state
+        return False

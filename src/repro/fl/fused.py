@@ -1,0 +1,158 @@
+"""Trial-fused execution: many trainers' rounds in one cross-trial slab.
+
+A tuner rung (Hyperband/SHA), a random-search batch, or a grid sweep hands
+``advance_many`` a set of trials that differ *only in hyperparameters* —
+same dataset, same model architecture. :class:`FusedTrainerPool` exploits
+that: it groups trainers by :func:`repro.nn.stacked.stack_signature` and
+advances each group's rounds in lockstep, with every trial's whole cohort
+occupying a contiguous row block of one ``(sum of cohorts, P)`` mega-slab.
+Per-trial hyperparameters (client lr / momentum / weight decay / FedProx
+mu) broadcast per slab row through the per-row vector form of
+:func:`repro.nn.optim.fused_sgd_step`; per-trial batch sizes and epoch
+counts just produce different row step schedules (ragged steps are
+loss-masked, exactly as within a single cohort).
+
+Equivalence is inherited from :class:`repro.fl.cohort.SlabTrainer` and is
+*per trainer*: each trainer samples its cohort and pre-draws its batch
+permutations from its own RNG stream in serial order, so results are
+bit-identical to ``trainer.run(n)`` when no ragged padding occurs and
+~1e-15/round otherwise, with identical RNG end states. A trial whose round
+diverges (non-finite client loss) is rerun serially from its RNG snapshots
+— exact serial semantics — without disturbing the other trials' rows.
+
+The pool is deliberately trainer-shaped rather than trial-shaped so that
+both :meth:`repro.core.evaluator.FederatedTrialRunner.advance_many`
+(``cohort_mode="fused"``) and :meth:`repro.experiments.bank.ConfigBank.build`
+can drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fl.cohort import SlabGroup, SlabTrainer
+from repro.fl.trainer import FederatedTrainer
+from repro.nn.stacked import STACKED_LOSSES, collect_dropout_rngs, stack_signature
+
+
+class FusedTrainerPool:
+    """Advances batches of :class:`~repro.fl.trainer.FederatedTrainer`\\ s
+    in cross-trial lockstep, one shared :class:`SlabTrainer` per model
+    architecture (slabs are cached across calls, so successive rungs of a
+    tuning run reuse one allocation).
+    """
+
+    def __init__(self) -> None:
+        self._slabs: Dict[tuple, SlabTrainer] = {}
+
+    # -- public API ----------------------------------------------------------
+    def advance(self, trainers: Sequence[FederatedTrainer], rounds: Sequence[int]) -> None:
+        """Advance ``trainers[i]`` by ``rounds[i]`` rounds, fusing where possible.
+
+        Trainers are grouped by architecture signature; each group of two
+        or more trains as one slab. Singleton groups and trainers without
+        stacked kernels run their own ``run`` (which is itself vectorized
+        when the model allows).
+        """
+        if len(trainers) != len(rounds):
+            raise ValueError(f"{len(trainers)} trainers but {len(rounds)} round counts")
+        for r in rounds:
+            if r < 0:
+                raise ValueError(f"rounds must be >= 0, got {r}")
+        groups: Dict[tuple, List[int]] = {}
+        solo: List[int] = []
+        for i, trainer in enumerate(trainers):
+            signature = stack_signature(trainer.model)
+            if signature is None or trainer.dataset.task.loss_fn not in STACKED_LOSSES:
+                solo.append(i)
+                continue
+            groups.setdefault((signature, trainer.dataset.task.loss_fn), []).append(i)
+        for key, members in groups.items():
+            if len(members) == 1:
+                solo.extend(members)
+                continue
+            self._advance_group(
+                [trainers[i] for i in members], [rounds[i] for i in members], key
+            )
+        for i in solo:
+            trainers[i].run(rounds[i])
+
+    # -- internals -----------------------------------------------------------
+    def _advance_group(
+        self, trainers: List[FederatedTrainer], rounds: List[int], key: tuple
+    ) -> None:
+        slab = self._slabs.get(key)
+        if slab is None:
+            slab = SlabTrainer(
+                trainers[0].dataset.task,
+                trainers[0].model,
+                sum(t.clients_per_round for t in trainers),
+            )
+            self._slabs[key] = slab
+        remaining = list(rounds)
+        while True:
+            active = [i for i, r in enumerate(remaining) if r > 0]
+            if not active:
+                return
+            self._run_fused_round([trainers[i] for i in active], slab)
+            for i in active:
+                remaining[i] -= 1
+
+    def _run_fused_round(self, trainers: List[FederatedTrainer], slab: SlabTrainer) -> None:
+        """One lockstep communication round across every given trainer.
+
+        Mirrors :meth:`FederatedTrainer.run_round` phase for phase, per
+        trainer: sample cohort -> local training (fused here) -> aggregate
+        + server step, with the serial rerun fallback on divergence.
+        """
+        cohorts = []
+        snapshots: List[Tuple] = []
+        groups: List[SlabGroup] = []
+        rng_lists: List[list] = []
+        for trainer in trainers:
+            cohort = trainer._sample_cohort()
+            # Snapshot after the cohort draw (a serial rerun reuses the
+            # cohort) but before the permutation pre-draw, which the rerun
+            # repeats client by client.
+            drngs = collect_dropout_rngs(trainer.model)
+            snapshots.append(
+                (
+                    trainer._rng.bit_generator.state,
+                    [r.bit_generator.state for r in drngs],
+                )
+            )
+            clients = [trainer.dataset.train_clients[k] for k in cohort]
+            local = trainer.local
+            perms = [
+                [trainer._rng.permutation(c.n) for _ in range(local.epochs)] for c in clients
+            ]
+            cohorts.append(cohort)
+            rng_lists.append(drngs)
+            groups.append(
+                SlabGroup(
+                    start=trainer.params,
+                    clients=clients,
+                    perms=perms,
+                    lr=local.lr,
+                    momentum=local.momentum,
+                    weight_decay=local.weight_decay,
+                    prox_mu=local.prox_mu,
+                    batch_size=local.batch_size,
+                    epochs=local.epochs,
+                    dropout_rngs=drngs,
+                )
+            )
+        outs = [trainer._updates for trainer in trainers]
+        succeeded = slab.train_groups(groups, outs)
+        for trainer, cohort, snapshot, drngs, ok in zip(
+            trainers, cohorts, snapshots, rng_lists, succeeded
+        ):
+            if not ok:
+                # Exact serial fallback for the diverged trial only: rewind
+                # its generators to the post-sample state and replay the
+                # round through the serial per-client path.
+                trainer._rng.bit_generator.state = snapshot[0]
+                for r, state in zip(drngs, snapshot[1]):
+                    r.bit_generator.state = state
+                trainer._train_cohort_serial(cohort, trainer._updates)
+            trainer._finish_round(cohort, trainer._updates)

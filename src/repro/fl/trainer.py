@@ -71,10 +71,13 @@ class FederatedTrainer:
     seed : controls model init, cohort sampling, and local batch order.
     cohort_mode : "vectorized" trains the round's whole cohort in lockstep
         on stacked parameter slabs (see :mod:`repro.fl.cohort`); "serial"
-        trains clients one at a time. ``None`` resolves from
-        ``$REPRO_COHORT_VECTOR`` (default serial). Models without stacked
-        kernels (recurrent text models) and rounds with diverging clients
-        automatically fall back to the serial path;
+        trains clients one at a time; "fused" additionally lets a
+        :class:`repro.fl.fused.FusedTrainerPool` (via the trial runners'
+        ``advance_many``) merge this trainer's rounds into a cross-trial
+        slab — a standalone ``run_round`` behaves exactly like
+        "vectorized". ``None`` resolves from ``$REPRO_COHORT_VECTOR``
+        (default serial). Models without stacked kernels and rounds with
+        diverging clients automatically fall back to the serial path;
         ``cohort_mode_effective`` reports the path actually in use.
     """
 
@@ -114,19 +117,14 @@ class FederatedTrainer:
         self._train_weights = dataset.train_weights(scheme)
         self.rounds_completed = 0
         self.cohort_mode = resolve_cohort_mode(cohort_mode)
+        # The per-trainer slab is built lazily on the first standalone
+        # round: trials advanced through the fused pool never touch it, so
+        # a fused rung does not pay one (C, P) slab per trial.
+        self._cohort_capable = self.cohort_mode in (
+            "vectorized",
+            "fused",
+        ) and CohortTrainer.supports(dataset.task, self.model)
         self._cohort_trainer = None
-        if self.cohort_mode == "vectorized":
-            self._cohort_trainer = CohortTrainer.maybe_build(
-                dataset.task,
-                self.model,
-                self.clients_per_round,
-                lr=local.lr,
-                momentum=local.momentum,
-                weight_decay=local.weight_decay,
-                batch_size=local.batch_size,
-                epochs=local.epochs,
-                prox_mu=local.prox_mu,
-            )
         # Aggregation scratch, reused every round: the (cohort, P) client
         # updates, their weighted copy, and the averaged parameters.
         self._updates = np.empty((self.clients_per_round, self.params.size))
@@ -135,28 +133,29 @@ class FederatedTrainer:
 
     @property
     def cohort_mode_effective(self) -> str:
-        """The training path in use ("vectorized" may fall back to "serial"
-        for model families without stacked kernels)."""
-        return "vectorized" if self._cohort_trainer is not None else "serial"
+        """The training path in use ("vectorized"/"fused" fall back to
+        "serial" for model families without stacked kernels; a "fused"
+        trainer running standalone rounds reports "vectorized")."""
+        return "vectorized" if self._cohort_capable else "serial"
 
-    def run_round(self) -> None:
-        """One communication round (the inner loop of Algorithm 2)."""
-        cohort = self._sampler.sample(self.clients_per_round, self._rng)
-        updates = self._updates
-        weights = self._train_weights[cohort]
-        trained = False
-        if self._cohort_trainer is not None:
-            trained = self._cohort_trainer.train_cohort(
-                self.params,
-                [self.dataset.train_clients[k] for k in cohort],
-                self._rng,
-                out=updates,
+    # -- round phases --------------------------------------------------------
+    # run_round composes three hooks so the fused trainer pool
+    # (repro.fl.fused) can interleave many trainers' rounds: sample the
+    # cohort, produce per-client updates (lockstep or serial), aggregate.
+    def _sample_cohort(self) -> np.ndarray:
+        """Draw this round's client cohort from the shared trainer RNG."""
+        return self._sampler.sample(self.clients_per_round, self._rng)
+
+    def _train_cohort_serial(self, cohort: np.ndarray, updates: np.ndarray) -> None:
+        """The serial per-client reference path (and divergence fallback)."""
+        for i, k in enumerate(cohort):
+            updates[i] = self._client_trainer.train(
+                self.model, self.params, self.dataset.train_clients[k], self._rng
             )
-        if not trained:
-            for i, k in enumerate(cohort):
-                updates[i] = self._client_trainer.train(
-                    self.model, self.params, self.dataset.train_clients[k], self._rng
-                )
+
+    def _finish_round(self, cohort: np.ndarray, updates: np.ndarray) -> None:
+        """Aggregate client updates and apply the server optimizer."""
+        weights = self._train_weights[cohort]
         # Weighted average with reused buffers; elementwise-multiply + axis
         # sum + divide is bit-identical to the np.average it replaces.
         np.multiply(updates, weights[:, None], out=self._weighted)
@@ -171,6 +170,35 @@ class FederatedTrainer:
         self.params = self.server_opt.step(self.params, pseudo_grad)
         self.rounds_completed += 1
 
+    def run_round(self) -> None:
+        """One communication round (the inner loop of Algorithm 2)."""
+        cohort = self._sample_cohort()
+        updates = self._updates
+        trained = False
+        if self._cohort_capable and self._cohort_trainer is None:
+            local = self.local
+            self._cohort_trainer = CohortTrainer(
+                self.dataset.task,
+                self.model,
+                self.clients_per_round,
+                lr=local.lr,
+                momentum=local.momentum,
+                weight_decay=local.weight_decay,
+                batch_size=local.batch_size,
+                epochs=local.epochs,
+                prox_mu=local.prox_mu,
+            )
+        if self._cohort_trainer is not None:
+            trained = self._cohort_trainer.train_cohort(
+                self.params,
+                [self.dataset.train_clients[k] for k in cohort],
+                self._rng,
+                out=updates,
+            )
+        if not trained:
+            self._train_cohort_serial(cohort, updates)
+        self._finish_round(cohort, updates)
+
     def run(self, n_rounds: int) -> "FederatedTrainer":
         """Advance ``n_rounds`` more rounds; returns self for chaining."""
         if n_rounds < 0:
@@ -183,25 +211,39 @@ class FederatedTrainer:
     def state_dict(self) -> dict:
         """All mutable training state, as plain picklable data.
 
-        Everything a resumed :meth:`run` depends on flows from these four
+        Everything a resumed :meth:`run` depends on flows from these
         pieces (the model itself is a pure function of ``params``), so
         loading them into an identically-constructed trainer continues
         training bit-identically — the contract the parallel engine's
-        worker round-trip relies on.
+        worker round-trip relies on. ``dropout_rngs`` carries the model's
+        per-layer Dropout generator states: those streams advance during
+        training, and a worker round-trip that dropped them would leave
+        the parent's Dropout draws stale for the next batch.
         """
+        from repro.nn.stacked import collect_dropout_rngs
+
         return {
             "params": self.params.copy(),
             "rng_state": self._rng.bit_generator.state,
             "server_opt": self.server_opt.state_dict(),
             "rounds_completed": self.rounds_completed,
+            "dropout_rngs": [
+                r.bit_generator.state for r in collect_dropout_rngs(self.model)
+            ],
         }
 
     def load_state_dict(self, state: dict) -> None:
         """Restore state captured by :meth:`state_dict`."""
+        from repro.nn.stacked import collect_dropout_rngs
+
         self.params = np.asarray(state["params"], dtype=np.float64).copy()
         self._rng.bit_generator.state = state["rng_state"]
         self.server_opt.load_state_dict(state["server_opt"])
         self.rounds_completed = int(state["rounds_completed"])
+        dropout_states = state.get("dropout_rngs")
+        if dropout_states is not None:
+            for rng, rng_state in zip(collect_dropout_rngs(self.model), dropout_states):
+                rng.bit_generator.state = rng_state
 
     # -- evaluation conveniences --------------------------------------------
     def eval_error_rates(self) -> np.ndarray:

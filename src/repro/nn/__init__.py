@@ -16,7 +16,14 @@ Design notes
   library testable with numerical differentiation.
 """
 
-from repro.nn.module import Module, Parameter, Sequential, get_flat_params, set_flat_params
+from repro.nn.module import (
+    Module,
+    Parameter,
+    Sequential,
+    get_flat_grads,
+    get_flat_params,
+    set_flat_params,
+)
 from repro.nn.initializers import glorot_uniform, he_normal, normal_init, zeros_init, orthogonal
 from repro.nn.functional import im2col, col2im, log_softmax, one_hot, softmax
 from repro.nn.layers import (
@@ -36,14 +43,21 @@ from repro.nn.optim import SGD, Adam, FlatSGD, Optimizer, fused_sgd_step
 from repro.nn.stacked import (
     STACKED_LOSSES,
     StackedConv2D,
+    StackedDropout,
+    StackedEmbedding,
     StackedFlatten,
+    StackedLSTM,
+    StackedLSTMCell,
     StackedLinear,
     StackedMaxPool2D,
     StackedModel,
     StackedReLU,
     StackedSigmoid,
     StackedTanh,
+    collect_dropout_rngs,
+    stack_signature,
     stacked_mse,
+    stacked_sequence_cross_entropy,
     stacked_softmax_cross_entropy,
     supports_stacking,
 )
@@ -55,6 +69,7 @@ __all__ = [
     "Module",
     "Parameter",
     "Sequential",
+    "get_flat_grads",
     "get_flat_params",
     "set_flat_params",
     "glorot_uniform",
@@ -88,14 +103,21 @@ __all__ = [
     "fused_sgd_step",
     "STACKED_LOSSES",
     "StackedConv2D",
+    "StackedDropout",
+    "StackedEmbedding",
     "StackedFlatten",
+    "StackedLSTM",
+    "StackedLSTMCell",
     "StackedLinear",
     "StackedMaxPool2D",
     "StackedModel",
     "StackedReLU",
     "StackedSigmoid",
     "StackedTanh",
+    "collect_dropout_rngs",
+    "stack_signature",
     "stacked_mse",
+    "stacked_sequence_cross_entropy",
     "stacked_softmax_cross_entropy",
     "supports_stacking",
     "make_cnn",

@@ -7,11 +7,32 @@ FedAdam update reuses its moment arithmetic (see :mod:`repro.fl.server`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.nn.module import Module, Parameter
+
+#: A hyperparameter that is either one scalar for the whole buffer or a
+#: per-row ``(R,)`` vector for a stacked ``(R, P)`` slab.
+RowHP = Union[float, np.ndarray]
+
+
+def _as_row_hp(value: RowHP, name: str, params: np.ndarray) -> tuple:
+    """Normalise a scalar-or-per-row hyperparameter for slab ufunc calls.
+
+    Returns ``(factor, active)``: ``factor`` broadcasts against ``params``
+    (the scalar itself, or the vector reshaped to a column), and ``active``
+    is True when any row's value is nonzero (gates the optional branches
+    exactly as scalar truthiness used to).
+    """
+    if isinstance(value, np.ndarray):
+        if value.shape != (params.shape[0],):
+            raise ValueError(
+                f"per-row {name} must be shape ({params.shape[0]},), got {value.shape}"
+            )
+        return value.reshape((-1,) + (1,) * (params.ndim - 1)), bool(np.any(value))
+    return value, bool(value)
 
 
 class Optimizer:
@@ -81,9 +102,9 @@ class SGD(Optimizer):
 def fused_sgd_step(
     params: np.ndarray,
     grads: np.ndarray,
-    lr: float,
-    momentum: float = 0.0,
-    weight_decay: float = 0.0,
+    lr: RowHP,
+    momentum: RowHP = 0.0,
+    weight_decay: RowHP = 0.0,
     velocity: Optional[np.ndarray] = None,
     work: Optional[np.ndarray] = None,
 ) -> None:
@@ -96,21 +117,34 @@ def fused_sgd_step(
     bit-identical to running :class:`SGD` over any per-parameter slicing
     of the same buffers.
 
-    ``params`` is updated in place. ``velocity`` (required iff ``momentum``
-    is nonzero) is the momentum buffer, also updated in place; pass the
-    same buffer to successive calls. ``grads`` is never mutated. ``work``
-    (same shape, scratch) makes the step allocation-free.
+    ``lr``/``momentum``/``weight_decay`` may each be a scalar or, for a
+    stacked ``(R, P)`` slab, a per-row ``(R,)`` vector — the fused trial
+    runner trains many configurations' rows in one slab this way. A
+    per-row value broadcasts as a column, so every element of row ``r``
+    sees the same scalar arithmetic the scalar path applies, making the
+    vector path row-for-row bit-identical to R scalar calls (one caveat:
+    a row with ``momentum == 0`` inside a mixed vector still routes
+    through the velocity buffer, which preserves values but can flip the
+    sign of a ``-0.0`` gradient — beneath every documented tolerance).
+
+    ``params`` is updated in place. ``velocity`` (required iff any row's
+    ``momentum`` is nonzero) is the momentum buffer, also updated in
+    place; pass the same buffer to successive calls. ``grads`` is never
+    mutated. ``work`` (same shape, scratch) makes the step allocation-free.
     """
     if work is not None and work.shape != params.shape:
         raise ValueError(f"work buffer shape {work.shape} != params shape {params.shape}")
-    if weight_decay:
+    lr, _ = _as_row_hp(lr, "lr", params)
+    momentum, momentum_any = _as_row_hp(momentum, "momentum", params)
+    weight_decay, weight_decay_any = _as_row_hp(weight_decay, "weight_decay", params)
+    if weight_decay_any:
         if work is None:
             grads = grads + weight_decay * params
         else:
             np.multiply(params, weight_decay, out=work)
             work += grads
             grads = work
-    if momentum:
+    if momentum_any:
         if velocity is None:
             raise ValueError("momentum > 0 requires a velocity buffer")
         velocity *= momentum
@@ -137,14 +171,19 @@ class FlatSGD:
     independent parameter copies with per-row momentum state — which is
     what the vectorized cohort trainer (:mod:`repro.fl.cohort`) runs local
     SGD on. Updates are bit-identical to the per-parameter loop.
+
+    Each hyperparameter may also be a per-row ``(C,)`` vector, giving
+    every slab row its own learning rate / momentum / weight decay — the
+    trial-fused runner trains whole tuner rungs this way, one
+    configuration per row group.
     """
 
-    def __init__(self, lr: float, momentum: float = 0.0, weight_decay: float = 0.0):
-        if lr <= 0:
+    def __init__(self, lr: RowHP, momentum: RowHP = 0.0, weight_decay: RowHP = 0.0):
+        if np.any(np.asarray(lr) <= 0):
             raise ValueError(f"learning rate must be positive, got {lr}")
-        if not 0.0 <= momentum < 1.0:
+        if np.any(np.asarray(momentum) < 0) or np.any(np.asarray(momentum) >= 1.0):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
-        if weight_decay < 0.0:
+        if np.any(np.asarray(weight_decay) < 0):
             raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
         self.lr = lr
         self.momentum = momentum
@@ -163,7 +202,7 @@ class FlatSGD:
                 f"shape mismatch: params {params.shape} vs grads {grads.shape}"
             )
         velocity = None
-        if self.momentum:
+        if np.any(self.momentum):
             if self._velocity is None or self._velocity.shape != params.shape:
                 self._velocity = np.zeros_like(params)
             velocity = self._velocity

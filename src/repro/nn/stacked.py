@@ -30,22 +30,39 @@ parameter copies only (views, no copy). The cohort trainer uses this to
 retire clients that have exhausted their local steps without re-building
 the stack.
 
-Layers with data-dependent control flow per copy (LSTM), RNG consumption
-(Dropout), or integer inputs (Embedding) have no stacked counterpart;
-:func:`supports_stacking` reports this and the cohort trainer falls back
-to the serial per-client path for such models.
+RNG-consuming layers (Dropout) keep their serial stream through a
+*pre-draw*: :class:`StackedDropout` receives each copy's generator and
+per-step real batch sizes up front and draws every mask of the round in
+the exact order the serial loop would, so the generators' end states are
+identical (the same trick the cohort trainer uses for batch
+permutations). Integer-input (Embedding) and recurrent (LSTM) layers have
+stacked counterparts too, so the paper's text models train in lockstep.
+The one remaining refusal is a model whose Dropout layers *share* one
+generator object — per-layer pre-draw cannot reproduce the interleaved
+serial order then, and :func:`supports_stacking` reports False.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Type
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from repro.nn.functional import col2im, im2col, log_softmax, softmax
-from repro.nn.layers import Conv2D, Flatten, Linear, MaxPool2D, ReLU, Sigmoid, Tanh
-from repro.nn.losses import mse_loss, softmax_cross_entropy
+from repro.nn.layers import (
+    Conv2D,
+    Dropout,
+    Embedding,
+    Flatten,
+    Linear,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import mse_loss, sequence_cross_entropy, softmax_cross_entropy
 from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.recurrent import LSTM, _sigmoid
 
 
 class StackedLinear(Module):
@@ -65,26 +82,32 @@ class StackedLinear(Module):
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        if x.ndim != 3 or x.shape[-1] != self.in_features or x.shape[0] > self.n_copies:
+        if x.ndim < 3 or x.shape[-1] != self.in_features or x.shape[0] > self.n_copies:
             raise ValueError(
-                f"StackedLinear expected (k<={self.n_copies}, B, {self.in_features}), got {x.shape}"
+                f"StackedLinear expected (k<={self.n_copies}, B, ..., {self.in_features}), "
+                f"got {x.shape}"
             )
         self._x = x
         k = x.shape[0]
-        y = np.matmul(x, self.weight.data[:k])
+        # (k, B, T, in) collapses to (k, B*T, in) for the batched matmul —
+        # same row set as the serial layer's 2-D reshape, per copy.
+        x3 = x.reshape(k, -1, self.in_features)
+        y = np.matmul(x3, self.weight.data[:k])
         if self.bias is not None:
             y += self.bias.data[:k, None, :]
-        return y
+        return y.reshape(x.shape[:-1] + (self.out_features,))
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
         x = self._x
         if x is None:
             raise RuntimeError("backward called before forward")
         k = x.shape[0]
-        self.weight.grad[:k] += np.matmul(x.transpose(0, 2, 1), dy)
+        x3 = x.reshape(k, -1, self.in_features)
+        dy3 = dy.reshape(k, -1, self.out_features)
+        self.weight.grad[:k] += np.matmul(x3.transpose(0, 2, 1), dy3)
         if self.bias is not None:
-            self.bias.grad[:k] += dy.sum(axis=1)
-        return np.matmul(dy, self.weight.data[:k].transpose(0, 2, 1))
+            self.bias.grad[:k] += dy3.sum(axis=1)
+        return np.matmul(dy3, self.weight.data[:k].transpose(0, 2, 1)).reshape(x.shape)
 
 
 class StackedConv2D(Module):
@@ -202,6 +225,271 @@ class StackedSigmoid(Sigmoid):
     """Sigmoid over ``(k, B, ...)`` (elementwise; serial kernel reused)."""
 
 
+class StackedDropout(Module):
+    """Inverted dropout over ``(k, B, ...)`` with per-copy RNG streams.
+
+    The serial :class:`~repro.nn.layers.Dropout` draws one keep mask per
+    batch from the *layer's own* generator, so a cohort's serial loop
+    consumes that stream client by client, step by step. Lockstep compute
+    visits steps in a different order, so masks are **pre-drawn**: before
+    a round the trainer calls :meth:`begin_round` with, per copy, the
+    generator that copy's serial pass would draw from and the real
+    (unpadded) batch size of each of its local steps, listed in serial
+    visit order. The draws themselves happen lazily at the round's first
+    forward (when the feature shape is known) but in exactly the serial
+    order, so every generator's end state is bit-identical to the serial
+    path's. Padded tail rows of a ragged step multiply by 1.0 (identity);
+    the loss mask removes them from gradients.
+    """
+
+    def __init__(self, rate: float):
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        # Plan entries, serial draw order: (rng, step_sizes, slot) — slot
+        # is the copy's row position in the (sorted) slab.
+        self._plan: Optional[List[tuple]] = None
+        self._masks: Optional[List[List[np.ndarray]]] = None
+        self._step = 0
+        self._mult: Optional[np.ndarray] = None
+        self._mult_buf: Optional[np.ndarray] = None  # grow-only scratch
+
+    def begin_round(self, plan: Sequence[tuple]) -> None:
+        """Install the round's draw plan (see class docstring) and drop
+        any masks from the previous round."""
+        self._plan = list(plan)
+        self._masks = None
+        self._step = 0
+
+    def set_step(self, t: int) -> None:
+        """Select which lockstep step the next forward serves."""
+        self._step = t
+
+    def _draw_masks(self, feat_shape: tuple) -> None:
+        keep = 1.0 - self.rate
+        masks: List[Optional[List[np.ndarray]]] = [None] * len(self._plan)
+        for rng, sizes, slot in self._plan:
+            masks[slot] = [(rng.random((b,) + feat_shape) < keep) / keep for b in sizes]
+        self._masks = masks
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mult = None
+            return x
+        if self._plan is None:
+            raise RuntimeError("StackedDropout.forward before begin_round")
+        if self._masks is None:
+            self._draw_masks(x.shape[2:])
+        k, width = x.shape[:2]
+        t = self._step
+        # Grow-only scratch (the per-step loop is otherwise
+        # allocation-free): mask rows are written in full, and only the
+        # padded tail of a ragged step is set to 1.0 (identity).
+        buf = self._mult_buf
+        if (
+            buf is None
+            or buf.shape[2:] != x.shape[2:]
+            or buf.shape[0] < k
+            or buf.shape[1] < width
+        ):
+            grow = (max(k, buf.shape[0] if buf is not None else 0),
+                    max(width, buf.shape[1] if buf is not None else 0))
+            buf = self._mult_buf = np.empty(grow + x.shape[2:], dtype=np.float64)
+        mult = buf[:k, :width]
+        for pos in range(k):
+            m = self._masks[pos][t]
+            mult[pos, : m.shape[0]] = m
+            if m.shape[0] < width:
+                mult[pos, m.shape[0] :] = 1.0
+        self._mult = mult
+        return x * mult
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._mult is None:
+            return dy
+        return dy * self._mult
+
+
+class StackedEmbedding(Module):
+    """C independent token tables: ``(k, B, ...)`` int ids -> ``(..., D)``.
+
+    ``weight`` is ``(C, V, D)``. The backward scatter-add runs per copy in
+    the same row-major id order as the serial
+    :class:`~repro.nn.layers.Embedding`, so duplicate-id accumulation is
+    bit-identical per copy.
+    """
+
+    def __init__(self, weight: np.ndarray):
+        super().__init__()
+        if weight.ndim != 3:
+            raise ValueError(f"stacked embedding weight must be (C, V, D), got {weight.shape}")
+        self.n_copies, self.vocab_size, self.dim = weight.shape
+        self.weight = Parameter(weight, "stacked_embedding.weight")
+        self._ids: Optional[np.ndarray] = None
+        self._copy_idx: Optional[np.ndarray] = None
+        self._dx_zero: Optional[np.ndarray] = None
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids)
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise TypeError(f"StackedEmbedding expects integer ids, got dtype {ids.dtype}")
+        if ids.ndim < 2 or ids.shape[0] > self.n_copies:
+            raise ValueError(
+                f"StackedEmbedding expected (k<={self.n_copies}, B, ...), got {ids.shape}"
+            )
+        if ids.size and (ids.min() < 0 or ids.max() >= self.vocab_size):
+            raise ValueError(f"token id out of range [0, {self.vocab_size})")
+        self._ids = ids
+        k = ids.shape[0]
+        self._copy_idx = np.arange(k).reshape((k,) + (1,) * (ids.ndim - 1))
+        return self.weight.data[self._copy_idx, ids]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._ids is None:
+            raise RuntimeError("backward called before forward")
+        np.add.at(self.weight.grad, (self._copy_idx, self._ids), dy)
+        # Ids are not differentiable; shape-cached zero placeholder, as in
+        # the serial layer.
+        if self._dx_zero is None or self._dx_zero.shape != self._ids.shape:
+            self._dx_zero = np.zeros(self._ids.shape, dtype=np.float64)
+        else:
+            self._dx_zero.fill(0.0)
+        return self._dx_zero
+
+
+class StackedLSTMCell(Module):
+    """C independent LSTM cells; gate layout [i, f, g, o] as in the serial
+    :class:`~repro.nn.recurrent.LSTMCell`, with a leading copy axis on
+    every matrix (``w_x: (C, in, 4h)``, ``w_h: (C, h, 4h)``, ``bias:
+    (C, 4h)``) and one batched matmul per gate projection."""
+
+    def __init__(self, w_x: np.ndarray, w_h: np.ndarray, bias: np.ndarray):
+        super().__init__()
+        if w_x.ndim != 3 or w_h.ndim != 3 or bias.ndim != 2:
+            raise ValueError("stacked LSTM cell weights must carry a leading copy axis")
+        self.n_copies, self.input_size, four_h = w_x.shape
+        self.hidden_size = four_h // 4
+        self.w_x = Parameter(w_x, "stacked_lstm.w_x")
+        self.w_h = Parameter(w_h, "stacked_lstm.w_h")
+        self.bias = Parameter(bias, "stacked_lstm.bias")
+
+    def step(
+        self, x_t: np.ndarray, h_prev: np.ndarray, c_prev: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, tuple]:
+        """One time step over ``(k, B, ·)`` stacks; mirrors the serial
+        cell's arithmetic kernel for kernel."""
+        k = x_t.shape[0]
+        h_sz = self.hidden_size
+        gates = (
+            np.matmul(x_t, self.w_x.data[:k])
+            + np.matmul(h_prev, self.w_h.data[:k])
+            + self.bias.data[:k, None, :]
+        )
+        i = _sigmoid(gates[:, :, 0 * h_sz : 1 * h_sz])
+        f = _sigmoid(gates[:, :, 1 * h_sz : 2 * h_sz])
+        g = np.tanh(gates[:, :, 2 * h_sz : 3 * h_sz])
+        o = _sigmoid(gates[:, :, 3 * h_sz : 4 * h_sz])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        cache = (x_t, h_prev, c_prev, i, f, g, o, tanh_c)
+        return h, c, cache
+
+    def step_backward(
+        self, dh: np.ndarray, dc: np.ndarray, cache: tuple
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x_t, h_prev, c_prev, i, f, g, o, tanh_c = cache
+        k = x_t.shape[0]
+        do = dh * tanh_c
+        dc_total = dc + dh * o * (1.0 - tanh_c**2)
+        di = dc_total * g
+        df = dc_total * c_prev
+        dg = dc_total * i
+        dc_prev = dc_total * f
+        dgates = np.concatenate(
+            [
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g**2),
+                do * o * (1.0 - o),
+            ],
+            axis=2,
+        )
+        self.w_x.grad[:k] += np.matmul(x_t.transpose(0, 2, 1), dgates)
+        self.w_h.grad[:k] += np.matmul(h_prev.transpose(0, 2, 1), dgates)
+        self.bias.grad[:k] += dgates.sum(axis=1)
+        dx_t = np.matmul(dgates, self.w_x.data[:k].transpose(0, 2, 1))
+        dh_prev = np.matmul(dgates, self.w_h.data[:k].transpose(0, 2, 1))
+        return dx_t, dh_prev, dc_prev
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover - guard
+        raise RuntimeError("StackedLSTMCell must be driven by StackedLSTM")
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:  # pragma: no cover - guard
+        raise RuntimeError("StackedLSTMCell must be driven by StackedLSTM")
+
+
+class StackedLSTM(Module):
+    """C lockstep LSTMs over ``(k, B, T, D)`` inputs, zero initial state
+    per sequence (stateless), returning all hidden states."""
+
+    def __init__(self, cells: List[StackedLSTMCell]):
+        super().__init__()
+        if not cells:
+            raise ValueError("StackedLSTM needs at least one cell")
+        self.n_copies = cells[0].n_copies
+        self.input_size = cells[0].input_size
+        self.hidden_size = cells[0].hidden_size
+        self.num_layers = len(cells)
+        self.cells = cells
+        self._caches: Optional[List[List[tuple]]] = None
+        self._t_steps = 0
+        self._k = 0
+        self._batch = 0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[3] != self.input_size or x.shape[0] > self.n_copies:
+            raise ValueError(
+                f"StackedLSTM expected (k<={self.n_copies}, B, T, {self.input_size}), "
+                f"got {x.shape}"
+            )
+        k, n, t_steps, _ = x.shape
+        self._k, self._batch, self._t_steps = k, n, t_steps
+        self._caches = [[] for _ in self.cells]
+        h_sz = self.hidden_size
+        inputs = x
+        for layer, cell in enumerate(self.cells):
+            h = np.zeros((k, n, h_sz))
+            c = np.zeros((k, n, h_sz))
+            outputs = np.empty((k, n, t_steps, h_sz))
+            for t in range(t_steps):
+                h, c, cache = cell.step(inputs[:, :, t, :], h, c)
+                self._caches[layer].append(cache)
+                outputs[:, :, t, :] = h
+            inputs = outputs
+        return inputs
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._caches is None:
+            raise RuntimeError("backward called before forward")
+        k, n, t_steps, h_sz = self._k, self._batch, self._t_steps, self.hidden_size
+        if dy.shape != (k, n, t_steps, h_sz):
+            raise ValueError(f"StackedLSTM backward expected {(k, n, t_steps, h_sz)}, got {dy.shape}")
+        dinputs = dy
+        for layer in range(self.num_layers - 1, -1, -1):
+            cell = self.cells[layer]
+            dx = np.zeros((k, n, t_steps, cell.input_size))
+            dh = np.zeros((k, n, h_sz))
+            dc = np.zeros((k, n, h_sz))
+            for t in range(t_steps - 1, -1, -1):
+                dh_total = dh + dinputs[:, :, t, :]
+                dx_t, dh, dc = cell.step_backward(dh_total, dc, self._caches[layer][t])
+                dx[:, :, t, :] = dx_t
+            dinputs = dx
+        return dinputs
+
+
 # -- stacked losses -----------------------------------------------------------
 
 
@@ -286,12 +574,55 @@ def stacked_mse(
     return losses, dpreds
 
 
+def stacked_sequence_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, mask: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-copy token-averaged cross-entropy over ``(C, B, T, V)`` logits.
+
+    Mirrors :func:`repro.nn.losses.sequence_cross_entropy` per copy (the
+    serial client loss is called without a token mask, so each copy's loss
+    averages over all ``B*T`` tokens of its unmasked rows). ``mask`` is the
+    cohort trainer's ``(C, B)`` *row* mask in {0, 1}: a masked (padded)
+    sequence contributes neither loss nor gradient, and the copy's average
+    runs over the tokens of its real rows only.
+    """
+    if logits.ndim != 4:
+        raise ValueError(f"logits must be (C, B, T, V), got {logits.shape}")
+    c, b, t, v = logits.shape
+    labels = np.asarray(labels)
+    if labels.shape != (c, b, t):
+        raise ValueError(f"labels must be ({c},{b},{t}), got {labels.shape}")
+    if b == 0 or t == 0:
+        raise ValueError("empty batch")
+    mask = _check_mask(mask, (c, b))
+    flat = logits.reshape(c, b * t, v)
+    flat_labels = labels.reshape(c, b * t)
+    logp = log_softmax(flat, axis=2)
+    rows = np.arange(c)[:, None], np.arange(b * t)[None, :], flat_labels
+    nll = -logp[rows]  # (C, B*T)
+    dflat = softmax(flat, axis=2)
+    dflat[rows] -= 1.0
+    if mask is None:
+        # Multiply by the reciprocal, exactly as the serial loss's
+        # (mask / denom) elementwise scale does for an all-ones mask.
+        denom = float(b * t)
+        losses = nll.sum(axis=1) / denom
+        dflat *= 1.0 / denom
+    else:
+        token_mask = np.repeat(mask, t, axis=1)  # (C, B*T), row-major token order
+        denoms = mask.sum(axis=1) * t
+        losses = (nll * token_mask).sum(axis=1) / denoms
+        dflat *= (token_mask / denoms[:, None])[:, :, None]
+    return losses, dflat.reshape(c, b, t, v)
+
+
 #: Serial loss function -> its stacked counterpart. The cohort trainer uses
 #: this to translate a TaskSpec's ``loss_fn``; tasks whose loss is not here
 #: fall back to serial training.
 STACKED_LOSSES: Dict[Callable, Callable] = {
     softmax_cross_entropy: stacked_softmax_cross_entropy,
     mse_loss: stacked_mse,
+    sequence_cross_entropy: stacked_sequence_cross_entropy,
 }
 
 
@@ -313,6 +644,22 @@ def _stack_conv(layer: Conv2D, n_copies: int) -> StackedConv2D:
     )
 
 
+def _stack_embedding(layer: Embedding, n_copies: int) -> StackedEmbedding:
+    return StackedEmbedding(np.repeat(layer.weight.data[None], n_copies, axis=0))
+
+
+def _stack_lstm(layer: LSTM, n_copies: int) -> StackedLSTM:
+    cells = [
+        StackedLSTMCell(
+            np.repeat(cell.w_x.data[None], n_copies, axis=0),
+            np.repeat(cell.w_h.data[None], n_copies, axis=0),
+            np.repeat(cell.bias.data[None], n_copies, axis=0),
+        )
+        for cell in layer.cells
+    ]
+    return StackedLSTM(cells)
+
+
 #: Leaf layer type -> factory building its stacked counterpart. Exact-type
 #: match: a subclass with different semantics must register itself.
 STACK_FACTORIES: Dict[Type[Module], Callable[[Module, int], Module]] = {
@@ -323,6 +670,19 @@ STACK_FACTORIES: Dict[Type[Module], Callable[[Module, int], Module]] = {
     ReLU: lambda layer, n: StackedReLU(),
     Tanh: lambda layer, n: StackedTanh(),
     Sigmoid: lambda layer, n: StackedSigmoid(),
+    Dropout: lambda layer, n: StackedDropout(layer.rate),
+    Embedding: _stack_embedding,
+    LSTM: _stack_lstm,
+}
+
+#: Structural attributes (beyond parameter shapes) that distinguish two
+#: same-type leaves with different compute graphs, for :func:`stack_signature`.
+_SIGNATURE_EXTRAS: Dict[Type[Module], Callable[[Module], tuple]] = {
+    Conv2D: lambda l: (l.stride, l.pad),
+    MaxPool2D: lambda l: (l.pool_size,),
+    Dropout: lambda l: (l.rate,),
+    LSTM: lambda l: (l.input_size, l.hidden_size, l.num_layers),
+    Linear: lambda l: (l.bias is not None,),
 }
 
 
@@ -338,12 +698,57 @@ def _iter_leaves(module: Module):
 def supports_stacking(module: Module) -> bool:
     """True iff every leaf layer of ``module`` has a stacked counterpart.
 
-    Models containing LSTMs, Embeddings, or Dropout (per-copy RNG) report
-    False; the cohort trainer then keeps the serial per-client path.
+    The one structural refusal left: several active Dropout layers sharing
+    one generator object — per-layer mask pre-draw cannot reproduce the
+    serial loop's interleaved draw order from a single stream, so such
+    models keep the serial per-client path.
     """
     if not isinstance(module, Sequential):
         return False
-    return all(type(leaf) in STACK_FACTORIES for leaf in _iter_leaves(module))
+    leaves = list(_iter_leaves(module))
+    if not all(type(leaf) in STACK_FACTORIES for leaf in leaves):
+        return False
+    rngs = [id(leaf.rng) for leaf in leaves if isinstance(leaf, Dropout) and leaf.rate > 0]
+    return len(set(rngs)) == len(rngs)
+
+
+def collect_dropout_rngs(module: Module) -> List[np.random.Generator]:
+    """Generators of the module's *active* Dropout leaves, in leaf order.
+
+    The cohort trainer snapshots these around a lockstep attempt (mask
+    pre-draw consumes them) and hands them to the stacked model's
+    :class:`StackedDropout` layers — index-aligned with the stacked
+    counterpart's active (rate > 0) Dropout layers in leaf order, the
+    same filter applied here.
+    """
+    return [
+        leaf.rng for leaf in _iter_leaves(module) if isinstance(leaf, Dropout) and leaf.rate > 0
+    ]
+
+
+def stack_signature(module: Module) -> Optional[tuple]:
+    """Hashable architecture key, or ``None`` when stacking is unsupported.
+
+    Two models with equal signatures run the identical stacked compute
+    graph, so their trials can share one cross-trial parameter slab (the
+    fused runner groups ``advance_many`` batches by this key). The key
+    captures leaf types, parameter shapes, and the structural attributes
+    in ``_SIGNATURE_EXTRAS`` — everything that shapes the forward/backward
+    kernels — but not parameter *values*, which live in the slab rows.
+    """
+    if not supports_stacking(module):
+        return None
+    parts = []
+    for leaf in _iter_leaves(module):
+        extra = _SIGNATURE_EXTRAS.get(type(leaf))
+        parts.append(
+            (
+                type(leaf).__name__,
+                tuple(tuple(p.shape) for p in leaf.parameters()),
+                extra(leaf) if extra is not None else (),
+            )
+        )
+    return tuple(parts)
 
 
 class StackedModel(Module):

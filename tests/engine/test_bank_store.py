@@ -123,3 +123,76 @@ class TestGetOrBuild:
         assert store.clear() == 1
         assert len(store) == 0
         assert store.get(FIELDS) is None
+
+
+class TestFormatVersion:
+    """The build signature stamps a semantic format version, so
+    behavior-changing PRs auto-invalidate stale caches (e.g. PR 2's ReLU
+    NaN-propagation change) instead of relying on a README warning."""
+
+    def test_key_fields_stamp_format_version(self):
+        from repro.engine.bank_store import BANK_FORMAT_VERSION
+
+        fields = BankStore.key_fields("synthetic", "test", 0, 4, 9)
+        assert fields["format_version"] == BANK_FORMAT_VERSION
+
+    def test_version_bump_invalidates(self, tmp_path):
+        store = BankStore(tmp_path)
+        fields = BankStore.key_fields("synthetic", "test", 0, 4, 9)
+        store.put(fields, make_bank())
+        assert store.get(fields) is not None
+        stale = dict(fields, format_version=fields["format_version"] - 1)
+        assert store.get(stale) is None
+
+
+class TestCohortModeKeySeparation:
+    """Each non-serial cohort mode gets its own cache entry; serial keys
+    stay unchanged (pre-vectorization caches remain valid)."""
+
+    def context_for(self, tmp_path, mode, n_workers=None):
+        from repro.experiments import ExperimentContext
+
+        return ExperimentContext(
+            preset="test",
+            seed=0,
+            n_bank_configs=4,
+            cache_dir=str(tmp_path),
+            cohort_mode=mode,
+            n_workers=n_workers,
+        )
+
+    def test_three_modes_three_cache_paths(self, tmp_path):
+        contexts = {m: self.context_for(tmp_path, m) for m in ("serial", "vectorized", "fused")}
+        paths = {
+            m: ctx.bank_store.path_for(ctx.bank_key_fields("cifar10")) for m, ctx in contexts.items()
+        }
+        assert len(set(paths.values())) == 3
+
+    def test_serial_key_has_no_cohort_field(self, tmp_path):
+        ctx = self.context_for(tmp_path, "serial")
+        assert "cohort_mode" not in ctx.bank_key_fields("cifar10")
+
+    def test_fused_with_workers_keys_as_vectorized(self, tmp_path):
+        """A multi-worker executor makes a fused build run per-trainer
+        vectorized (bit-identical to a vectorized build), so the key must
+        say so — a 'fused' entry must never hold worker-built contents."""
+        pooled = self.context_for(tmp_path, "fused", n_workers=2)
+        vectorized = self.context_for(tmp_path, "vectorized")
+        in_process = self.context_for(tmp_path, "fused")
+        if pooled.executor.n_workers > 1:  # fork available on this platform
+            assert pooled.bank_key_fields("cifar10") == vectorized.bank_key_fields("cifar10")
+            assert pooled.bank_key_fields("cifar10") != in_process.bank_key_fields("cifar10")
+        assert in_process.bank_key_fields("cifar10")["cohort_mode"] == "fused"
+
+    def test_modes_never_share_entries(self, tmp_path):
+        serial_ctx = self.context_for(tmp_path, "serial")
+        fused_ctx = self.context_for(tmp_path, "fused")
+        store = serial_ctx.bank_store
+        store.put(serial_ctx.bank_key_fields("cifar10"), make_bank(seed=1))
+        assert store.get(fused_ctx.bank_key_fields("cifar10")) is None
+        store.put(fused_ctx.bank_key_fields("cifar10"), make_bank(seed=2))
+        assert np.array_equal(
+            store.get(serial_ctx.bank_key_fields("cifar10")).errors, make_bank(seed=1).errors
+        )
+        vect_ctx = self.context_for(tmp_path, "vectorized")
+        assert store.get(vect_ctx.bank_key_fields("cifar10")) is None

@@ -86,6 +86,7 @@ class TestResolveCohortMode:
     def test_explicit_modes(self):
         assert resolve_cohort_mode("serial") == "serial"
         assert resolve_cohort_mode("vectorized") == "vectorized"
+        assert resolve_cohort_mode("fused") == "fused"
         with pytest.raises(ValueError):
             resolve_cohort_mode("lockstep")
 
@@ -95,8 +96,19 @@ class TestResolveCohortMode:
         for truthy in ("1", "true", "vectorized", "ON"):
             monkeypatch.setenv(COHORT_VECTOR_ENV, truthy)
             assert resolve_cohort_mode(None) == "vectorized"
-        monkeypatch.setenv(COHORT_VECTOR_ENV, "0")
-        assert resolve_cohort_mode(None) == "serial"
+        for falsy in ("0", "false", "no", "off", "serial", ""):
+            monkeypatch.setenv(COHORT_VECTOR_ENV, falsy)
+            assert resolve_cohort_mode(None) == "serial"
+        monkeypatch.setenv(COHORT_VECTOR_ENV, "fused")
+        assert resolve_cohort_mode(None) == "fused"
+
+    def test_env_rejects_unknown_values(self, monkeypatch):
+        """Typos must error loudly, not silently run serial (regression:
+        e.g. REPRO_COHORT_VECTOR=vectorised used to degrade to serial)."""
+        for bad in ("vectorised", "lockstep", "2", "Fused mode"):
+            monkeypatch.setenv(COHORT_VECTOR_ENV, bad)
+            with pytest.raises(ValueError, match="REPRO_COHORT_VECTOR"):
+                resolve_cohort_mode(None)
 
 
 class TestSmokeEquivalence:
@@ -184,20 +196,34 @@ class TestFallbacks:
         assert np.array_equal(a.params, b.params)
         assert a._rng.bit_generator.state == b._rng.bit_generator.state
 
-    def test_text_model_falls_back_permanently(self):
+    def test_text_model_trains_in_lockstep(self):
+        """Stacked Embedding/LSTM kernels: text models no longer fall back."""
         ds = load_dataset("stackoverflow", "test", seed=0)
         b = make_trainer(ds, "vectorized", batch_size=4)
-        assert b.cohort_mode_effective == "serial"
+        assert b.cohort_mode_effective == "vectorized"
         a = make_trainer(ds, "serial", batch_size=4)
-        a.run(1)
-        b.run(1)
-        assert np.array_equal(a.params, b.params)
+        a.run(2)
+        b.run(2)
+        np.testing.assert_allclose(b.params, a.params, rtol=RTOL, atol=ATOL)
         assert a._rng.bit_generator.state == b._rng.bit_generator.state
 
-    def test_maybe_build_rejects_unsupported(self, cifar):
+    def test_shared_dropout_rng_falls_back_permanently(self):
+        """Two active Dropout layers sharing one generator cannot be
+        stream-preserved by per-layer pre-draw; the model stays serial."""
+        from repro.nn import Sequential
+        from repro.nn.layers import Dropout, Linear
+
+        shared = np.random.default_rng(0)
+        model = Sequential(
+            Linear(6, 8, rng=1), Dropout(0.2, rng=shared), Linear(8, 3, rng=2), Dropout(0.1, rng=shared)
+        )
+        ds = mlp_dataset()
+        assert CohortTrainer.maybe_build(ds.task, model, 5, lr=0.1) is None
+
+    def test_maybe_build_accepts_text_and_image_models(self, cifar):
         ds = load_dataset("reddit", "test", seed=0)
         assert (
-            CohortTrainer.maybe_build(ds.task, ds.task.build_model(0), 5, lr=0.1) is None
+            CohortTrainer.maybe_build(ds.task, ds.task.build_model(0), 5, lr=0.1) is not None
         )
         assert (
             CohortTrainer.maybe_build(cifar.task, cifar.task.build_model(0), 5, lr=0.1)

@@ -9,8 +9,10 @@ import numpy as np
 import pytest
 
 from repro.nn import (
+    LSTM,
     Conv2D,
     Dropout,
+    Embedding,
     Flatten,
     Linear,
     MaxPool2D,
@@ -18,7 +20,11 @@ from repro.nn import (
     Sequential,
     Sigmoid,
     StackedConv2D,
+    StackedDropout,
+    StackedEmbedding,
     StackedFlatten,
+    StackedLSTM,
+    StackedLSTMCell,
     StackedLinear,
     StackedMaxPool2D,
     StackedModel,
@@ -26,6 +32,7 @@ from repro.nn import (
     StackedSigmoid,
     StackedTanh,
     Tanh,
+    get_flat_grads,
     get_flat_params,
     gradcheck_module,
     make_cnn,
@@ -33,9 +40,12 @@ from repro.nn import (
     make_mlp,
     mse_loss,
     numerical_gradient,
+    sequence_cross_entropy,
     set_flat_params,
     softmax_cross_entropy,
+    stack_signature,
     stacked_mse,
+    stacked_sequence_cross_entropy,
     stacked_softmax_cross_entropy,
     supports_stacking,
 )
@@ -261,15 +271,259 @@ class TestStackedModel:
         assert supports_stacking(make_mlp(5, 3, rng=rng))
         assert supports_stacking(make_cnn(4, 1, 3, channels=(2, 3), rng=rng))
         assert supports_stacking(Sequential(Linear(4, 4, rng), Tanh(), Sigmoid(), Flatten()))
-        assert not supports_stacking(make_lstm_lm(10, 4, 4, 1, rng=rng))
-        assert not supports_stacking(Sequential(Linear(4, 4, rng), Dropout(0.5, rng)))
+        # Text kernels landed with the fused runner: LSTM LMs and Dropout
+        # models stack now.
+        assert supports_stacking(make_lstm_lm(10, 4, 4, 1, rng=rng))
+        assert supports_stacking(Sequential(Linear(4, 4, rng), Dropout(0.5, rng)))
         assert not supports_stacking(Linear(4, 4, rng))  # bare layer, no Sequential
+
+    def test_shared_dropout_rng_unstackable(self, rng):
+        """Per-layer mask pre-draw cannot honour one generator shared by
+        two active Dropout layers; rate-0 layers don't count (no draws)."""
+        shared = np.random.default_rng(0)
+        assert not supports_stacking(
+            Sequential(Linear(4, 4, rng), Dropout(0.3, shared), Dropout(0.2, shared))
+        )
+        assert supports_stacking(
+            Sequential(Linear(4, 4, rng), Dropout(0.0, shared), Dropout(0.2, shared))
+        )
 
     def test_unstackable_model_rejected(self, rng):
         with pytest.raises(ValueError):
-            StackedModel(make_lstm_lm(10, 4, 4, 1, rng=rng), C)
+            StackedModel(Linear(4, 4, rng), C)
 
     def test_nested_sequential_supported(self, rng):
         inner = Sequential(Linear(5, 6, rng), ReLU())
         model = StackedModel(Sequential(inner, Linear(6, 3, rng)), C)
         gradcheck_module(model, rng.normal(size=(C, B, 5)))
+
+
+class TestStackedTextKernels:
+    """Embedding/LSTM stacks and the stacked sequence loss — the kernels
+    that let text models train in lockstep instead of falling back."""
+
+    def lstm_stack(self, rng, n=C, d_in=4, h=5, layers=2):
+        serials = [LSTM(d_in, h, num_layers=layers, rng=rng) for _ in range(n)]
+        cells = [
+            StackedLSTMCell(
+                np.stack([s.cells[l].w_x.data for s in serials]),
+                np.stack([s.cells[l].w_h.data for s in serials]),
+                np.stack([s.cells[l].bias.data for s in serials]),
+            )
+            for l in range(layers)
+        ]
+        return StackedLSTM(cells), serials
+
+    def test_lstm_gradcheck(self, rng):
+        stacked, _ = self.lstm_stack(rng, layers=1, d_in=3, h=3)
+        gradcheck_module(stacked, rng.normal(size=(C, 2, 3, 3)))
+
+    def test_lstm_matches_serial_bitwise(self, rng):
+        stacked, serials = self.lstm_stack(rng)
+        x = rng.normal(size=(C, B, 6, 4))
+        y = stacked.forward(x)
+        dy = rng.normal(size=y.shape)
+        dx = stacked.backward(dy)
+        for c, serial in enumerate(serials):
+            ys = serial.forward(x[c])
+            dxs = serial.backward(dy[c])
+            assert np.array_equal(y[c], ys)
+            assert np.array_equal(dx[c], dxs)
+            for cell, scell in zip(stacked.cells, serial.cells):
+                assert np.array_equal(cell.w_x.grad[c], scell.w_x.grad)
+                assert np.array_equal(cell.w_h.grad[c], scell.w_h.grad)
+                assert np.array_equal(cell.bias.grad[c], scell.bias.grad)
+
+    def test_embedding_matches_serial_bitwise(self, rng):
+        vocab, dim = 7, 3
+        weight = rng.normal(size=(C, vocab, dim))
+        stacked = StackedEmbedding(weight.copy())
+        # Duplicate ids on purpose: scatter-add accumulation order must
+        # match the serial kernel's per copy.
+        ids = rng.integers(0, vocab, size=(C, B, 5))
+        ids[:, 0] = ids[:, 1]
+        y = stacked.forward(ids)
+        dy = rng.normal(size=y.shape)
+        dx = stacked.backward(dy)
+        assert np.all(dx == 0.0)
+        for c in range(C):
+            serial = Embedding(vocab, dim, rng)
+            serial.weight.data[...] = weight[c]
+            ys = serial.forward(ids[c])
+            serial.backward(dy[c])
+            assert np.array_equal(y[c], ys)
+            assert np.array_equal(stacked.weight.grad[c], serial.weight.grad)
+
+    def test_embedding_rejects_bad_ids(self, rng):
+        stacked = StackedEmbedding(rng.normal(size=(C, 7, 3)))
+        with pytest.raises(TypeError):
+            stacked.forward(rng.normal(size=(C, B)))
+        with pytest.raises(ValueError):
+            stacked.forward(np.full((C, B), 7))
+
+    def test_sequence_ce_matches_serial_per_copy(self, rng):
+        logits = rng.normal(size=(C, B, 4, 6))
+        labels = rng.integers(0, 6, size=(C, B, 4))
+        losses, dlogits = stacked_sequence_cross_entropy(logits, labels)
+        for c in range(C):
+            loss_s, d_s = sequence_cross_entropy(logits[c], labels[c])
+            assert losses[c] == loss_s
+            assert np.array_equal(dlogits[c], d_s)
+
+    def test_sequence_ce_masked_rows(self, rng):
+        b_real = 2
+        logits = rng.normal(size=(C, B, 4, 6))
+        labels = rng.integers(0, 6, size=(C, B, 4))
+        mask = np.zeros((C, B))
+        mask[:, :b_real] = 1.0
+        losses, dlogits = stacked_sequence_cross_entropy(logits, labels, mask)
+        assert np.all(dlogits[:, b_real:] == 0.0)
+        for c in range(C):
+            loss_s, d_s = sequence_cross_entropy(logits[c, :b_real], labels[c, :b_real])
+            assert losses[c] == pytest.approx(loss_s, rel=1e-14)
+            np.testing.assert_allclose(dlogits[c, :b_real], d_s, rtol=1e-14, atol=1e-18)
+
+    def test_sequence_ce_gradcheck(self, rng):
+        labels = rng.integers(0, 5, size=(C, 3, 2))
+        copy_w = rng.normal(size=C)
+        logits = rng.normal(size=(C, 3, 2, 5))
+        _, dlogits = stacked_sequence_cross_entropy(logits.copy(), labels)
+
+        def objective(lg):
+            ls, _ = stacked_sequence_cross_entropy(lg, labels)
+            return float((ls * copy_w).sum())
+
+        numeric = numerical_gradient(objective, logits.copy())
+        np.testing.assert_allclose(
+            dlogits * copy_w[:, None, None, None], numeric, rtol=1e-5, atol=1e-7
+        )
+
+    def test_language_model_stack_matches_serial(self, rng):
+        template = make_lstm_lm(9, embed_dim=4, hidden=4, num_layers=2, rng=rng)
+        model = StackedModel(template, C)
+        slab = rng.normal(size=model.slab.shape, scale=0.2)
+        model.set_slab(slab)
+        ids = rng.integers(0, 9, size=(C, B, 5))
+        labels = rng.integers(0, 9, size=(C, B, 5))
+        y = model.forward(ids)
+        losses, d = stacked_sequence_cross_entropy(y, labels)
+        model.zero_grad()
+        model.backward(d)
+        for c in range(C):
+            set_flat_params(template, slab[c])
+            template.zero_grad()
+            ys = template.forward(ids[c])
+            loss_s, d_s = sequence_cross_entropy(ys, labels[c])
+            template.backward(d_s)
+            assert np.array_equal(y[c], ys)
+            assert losses[c] == loss_s
+            assert np.array_equal(model.grad_slab[c], get_flat_grads(template))
+
+
+class TestStackedDropout:
+    """Per-copy stream pre-draw: masks (and generator end states) must be
+    bit-identical to the serial client-by-client draw order."""
+
+    def plan_for(self, rngs, sizes_per_copy):
+        return [(rng, sizes, slot) for slot, (rng, sizes) in enumerate(zip(rngs, sizes_per_copy))]
+
+    def test_masks_match_serial_draw_order(self, rng):
+        rate, feat, steps = 0.4, (5,), [3, 3, 2]
+        seeds = [11, 12, 13]
+        serial_rngs = [np.random.default_rng(s) for s in seeds]
+        stacked_rngs = [np.random.default_rng(s) for s in seeds]
+        layer = StackedDropout(rate)
+        layer.begin_round(self.plan_for(stacked_rngs, [steps[c :] for c in [0, 0, 0]]))
+        # Serial reference: each copy's Dropout consumes its own stream,
+        # batch by batch.
+        serial_masks = []
+        for c in range(C):
+            d = Dropout(rate, serial_rngs[c])
+            copy_masks = []
+            for b in steps:
+                x = np.ones((b,) + feat)
+                d.forward(x)
+                copy_masks.append(d._mask.copy())
+            serial_masks.append(copy_masks)
+        for t in range(len(steps)):
+            layer.set_step(t)
+            x = np.ones((C, steps[t]) + feat)
+            y = layer.forward(x)
+            for c in range(C):
+                assert np.array_equal(y[c], serial_masks[c][t])
+        for a, b in zip(serial_rngs, stacked_rngs):
+            assert a.bit_generator.state == b.bit_generator.state
+
+    def test_padded_tail_is_identity(self, rng):
+        layer = StackedDropout(0.5)
+        layer.begin_round(self.plan_for([np.random.default_rng(c) for c in range(C)], [[2]] * C))
+        x = rng.normal(size=(C, 4, 3))  # width 4, real rows 2
+        y = layer.forward(x)
+        assert np.array_equal(y[:, 2:], x[:, 2:])
+
+    def test_gradcheck(self, rng):
+        layer = StackedDropout(0.3)
+        layer.begin_round(self.plan_for([np.random.default_rng(c) for c in range(C)], [[B]] * C))
+        gradcheck_module(layer, rng.normal(size=(C, B, 4)))
+
+    def test_rate_zero_is_identity_without_draws(self, rng):
+        layer = StackedDropout(0.0)
+        x = rng.normal(size=(C, B, 4))
+        assert layer.forward(x) is x
+        dy = rng.normal(size=x.shape)
+        assert layer.backward(dy) is dy
+
+    def test_eval_mode_identity(self, rng):
+        layer = StackedDropout(0.5)
+        layer.eval()
+        x = rng.normal(size=(C, B, 4))
+        assert layer.forward(x) is x
+
+    def test_forward_without_plan_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            StackedDropout(0.5).forward(rng.normal(size=(C, B, 4)))
+
+    def test_dropout_model_gradcheck(self, rng):
+        template = Sequential(Linear(5, 6, rng), Dropout(0.4, rng), ReLU(), Linear(6, 3, rng))
+        model = StackedModel(template, C)
+        drop = [l for l in model.layers if isinstance(l, StackedDropout)][0]
+        drop.begin_round(
+            [(np.random.default_rng(c), [B], c) for c in range(C)]
+        )
+        gradcheck_module(model, rng.normal(size=(C, B, 5)))
+
+
+class TestStackSignature:
+    def test_same_architecture_same_signature(self, rng):
+        a = make_mlp(5, 3, hidden=(6,), rng=rng)
+        b = make_mlp(5, 3, hidden=(6,), rng=np.random.default_rng(99))
+        assert stack_signature(a) == stack_signature(b)
+        assert stack_signature(a) is not None
+
+    def test_different_architectures_differ(self, rng):
+        base = stack_signature(make_mlp(5, 3, hidden=(6,), rng=rng))
+        assert stack_signature(make_mlp(5, 3, hidden=(7,), rng=rng)) != base
+        assert stack_signature(make_mlp(5, 3, hidden=(6, 6), rng=rng)) != base
+        assert (
+            stack_signature(Sequential(Linear(5, 6, rng), Tanh(), Linear(6, 3, rng))) != base
+        )
+
+    def test_conv_extras_distinguish(self, rng):
+        a = Sequential(Conv2D(1, 2, 3, stride=1, pad=1, rng=rng), Flatten(), Linear(32, 2, rng))
+        b = Sequential(Conv2D(1, 2, 3, stride=1, pad=0, rng=rng), Flatten(), Linear(8, 2, rng))
+        assert stack_signature(a) != stack_signature(b)
+
+    def test_unsupported_model_is_none(self, rng):
+        assert stack_signature(Linear(4, 4, rng)) is None
+        shared = np.random.default_rng(0)
+        assert (
+            stack_signature(Sequential(Linear(4, 4, rng), Dropout(0.3, shared), Dropout(0.2, shared)))
+            is None
+        )
+
+    def test_text_model_signature(self, rng):
+        a = make_lstm_lm(9, embed_dim=4, hidden=4, num_layers=2, rng=rng)
+        b = make_lstm_lm(9, embed_dim=4, hidden=4, num_layers=2, rng=np.random.default_rng(1))
+        c = make_lstm_lm(9, embed_dim=4, hidden=5, num_layers=2, rng=rng)
+        assert stack_signature(a) == stack_signature(b)
+        assert stack_signature(a) != stack_signature(c)
