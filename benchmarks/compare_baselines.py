@@ -25,7 +25,7 @@ from typing import Dict, Iterator, Tuple
 
 #: Benchmark files under the regression gate, with the JSON keys compared.
 #: Every key is a speedup ratio (dimensionless, machine-comparable).
-GATED_FILES = ("BENCH_cohort.json", "BENCH_trialfuse.json")
+GATED_FILES = ("BENCH_cohort.json", "BENCH_trialfuse.json", "BENCH_evalfuse.json")
 
 
 def iter_speedups(blob: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:

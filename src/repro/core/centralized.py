@@ -69,6 +69,8 @@ class CentralizedTrialRunner(TrialRunner):
         )
 
     def _advance_trial(self, trial: Trial, rounds: int) -> None:
+        # Any cached rate vector describes an earlier round count.
+        self._rates_cache.pop(trial.trial_id, None)
         state: _CentralizedState = trial.state
         batch = int(trial.config["batch_size"])
         n = len(state.x)
@@ -100,6 +102,11 @@ class CentralizedTrialRunner(TrialRunner):
         rates.setflags(write=False)
         self._rates_cache[trial.trial_id] = (trial.rounds, rates)
         return rates
+
+    def retire(self, trial: Trial) -> None:
+        """Release the trial's cached rate vector (same contract as the
+        federated runner: retiring is a memory hint, re-reads still work)."""
+        self._rates_cache.pop(trial.trial_id, None)
 
     def full_error(self, trial: Trial, scheme: str = "weighted") -> float:
         return federated_error(self.error_rates(trial), self.dataset.eval_weights(scheme))

@@ -120,6 +120,28 @@ class TrialRunner:
         """Per-validation-client error rates at the trial's current state."""
         raise NotImplementedError
 
+    def error_rates_many(self, trials: Sequence[Trial]) -> List[np.ndarray]:
+        """Batch :meth:`error_rates`: rate vectors for many trials at once.
+
+        Returns exactly what ``[self.error_rates(t) for t in trials]``
+        would (that serial loop is the default implementation — evaluation
+        consumes no RNG, so ordering is free). Runners with batched
+        evaluation engines override this to score whole tuner rungs in one
+        stacked sweep or across a process pool; results must stay
+        bit-identical per trial.
+        """
+        return [self.error_rates(trial) for trial in trials]
+
+    def retire(self, trial: Trial) -> None:
+        """Hint that ``trial`` will be neither advanced nor read again.
+
+        Tuners call this for eliminated configurations (SHA-killed rung
+        losers, scored-once RS/grid trials) so runners can release cached
+        per-trial evaluation state. Retiring is only a memory hint — a
+        retired trial that *is* read again re-evaluates correctly, just
+        without the cache. Default: no-op.
+        """
+
     def full_error(self, trial: Trial, scheme: str = "weighted") -> float:
         """Full-pool validation error (Eq. 2, S = [N_val]) — reporting only;
         tuners never see this value."""
@@ -143,6 +165,14 @@ def _advance_trainer_task(payload, index: int) -> dict:
     trainer, rounds = payload[index]
     trainer.run(rounds)
     return trainer.state_dict()
+
+
+def _eval_rates_task(payload, index: int) -> np.ndarray:
+    """Worker task for pooled ``error_rates_many``: evaluate one
+    fork-inherited trainer on the full validation pool and ship back only
+    the rate vector (evaluation consumes no RNG and only scratch model
+    state, so nothing needs merging back into the parent)."""
+    return payload[index].eval_error_rates()
 
 
 class FederatedTrialRunner(TrialRunner):
@@ -179,8 +209,10 @@ class FederatedTrialRunner(TrialRunner):
         self.executor = executor
         self.cohort_mode = resolve_cohort_mode(cohort_mode)
         self._fused_pool = None
+        self._eval_engine = None
         self._seed_rng = as_rng(seed)
         self._rates_cache: Dict[int, tuple] = {}
+        self._eval_weights_cache: Dict[str, np.ndarray] = {}
 
     def _init_trial(self, trial: Trial) -> None:
         trial_seed = int(self._seed_rng.integers(0, 2**63 - 1))
@@ -195,6 +227,10 @@ class FederatedTrialRunner(TrialRunner):
 
     def _advance_trial(self, trial: Trial, rounds: int) -> None:
         trial.state.run(rounds)
+        # The cached rate vector (if any) describes an earlier round count;
+        # drop it now rather than leaving a stale entry pinned until the
+        # next read.
+        self._rates_cache.pop(trial.trial_id, None)
 
     def advance_many(self, requests: Sequence[Tuple[Trial, int]]) -> List[int]:
         executor = self.executor
@@ -233,24 +269,108 @@ class FederatedTrialRunner(TrialRunner):
         for trial, allowed in planned:
             trial.rounds += allowed
             self.rounds_used += allowed
+            if allowed > 0:
+                self._rates_cache.pop(trial.trial_id, None)
         return [allowed for _, allowed in planned]
 
-    def error_rates(self, trial: Trial) -> np.ndarray:
-        cached = self._rates_cache.get(trial.trial_id)
-        if cached is not None and cached[0] == trial.rounds:
-            return cached[1]
-        rates = trial.state.eval_error_rates()
+    def _store_rates(self, trial: Trial, rates: np.ndarray) -> np.ndarray:
         # Read-only: callers (noise stacks, robust tuners, user code) must
         # not be able to corrupt the cache that full_error reads later.
         rates.setflags(write=False)
         self._rates_cache[trial.trial_id] = (trial.rounds, rates)
         return rates
 
+    def error_rates(self, trial: Trial) -> np.ndarray:
+        cached = self._rates_cache.get(trial.trial_id)
+        if cached is not None and cached[0] == trial.rounds:
+            return cached[1]
+        return self._store_rates(trial, trial.state.eval_error_rates())
+
+    def error_rates_many(self, trials: Sequence[Trial]) -> List[np.ndarray]:
+        """Batch evaluation of a rung/batch of trials, bit-identical per
+        trial to the serial :meth:`error_rates` loop.
+
+        Uncached trials are scored either across the process pool (when
+        the runner's executor has workers — each worker runs the plain
+        serial evaluation and ships back its rate vector) or through one
+        :class:`~repro.fl.evaluation.StackedEvalEngine` inference slab per
+        architecture group. A fused runner hands the engine the training
+        slab its rung just used (no unstack/restack round trip); trials
+        whose model has no stacked kernels, and singleton groups, take the
+        serial path. All results land in the rates cache.
+        """
+        results: Dict[int, np.ndarray] = {}
+        pending: List[Trial] = []
+        for trial in trials:
+            if trial.trial_id in results or any(t.trial_id == trial.trial_id for t in pending):
+                continue
+            cached = self._rates_cache.get(trial.trial_id)
+            if cached is not None and cached[0] == trial.rounds:
+                results[trial.trial_id] = cached[1]
+            else:
+                pending.append(trial)
+        executor = self.executor
+        pooled = executor is not None and getattr(executor, "n_workers", 1) > 1
+        if len(pending) > 1 and pooled:
+            # Build (or touch) the pool's chunk plan in the parent first:
+            # workers fork per map() call, so only a parent-cached plan is
+            # inherited copy-on-write — otherwise every worker would
+            # re-concatenate the validation pool on every rung.
+            from repro.fl.evaluation import eval_chunk_plan
+
+            eval_chunk_plan(self.dataset.eval_clients)
+            payload = [trial.state for trial in pending]
+            rates_list = executor.map(
+                _eval_rates_task, list(range(len(pending))), payload=payload
+            )
+            for trial, rates in zip(pending, rates_list):
+                results[trial.trial_id] = self._store_rates(trial, np.asarray(rates))
+        elif len(pending) > 1:
+            self._stacked_rates(pending, results)
+        else:
+            for trial in pending:
+                results[trial.trial_id] = self.error_rates(trial)
+        return [results[trial.trial_id] for trial in trials]
+
+    def _stacked_rates(self, pending: List[Trial], results: Dict[int, np.ndarray]) -> None:
+        """Score ``pending`` via per-architecture stacked inference slabs."""
+        from repro.fl.evaluation import StackedEvalEngine, fused_group_rates
+
+        if self._eval_engine is None:
+            self._eval_engine = StackedEvalEngine()
+        rates = fused_group_rates(
+            self._eval_engine,
+            [trial.state.model for trial in pending],
+            [trial.state.params for trial in pending],
+            self.dataset.eval_clients,
+            self.dataset.task,
+            pool=self._fused_pool,
+        )
+        for trial, row in zip(pending, rates):
+            if row is None:
+                results[trial.trial_id] = self.error_rates(trial)
+            else:
+                results[trial.trial_id] = self._store_rates(trial, row)
+
+    def retire(self, trial: Trial) -> None:
+        """Release the trial's cached full-pool rate vector (SHA-killed
+        rungs otherwise keep every loser's vector alive for the whole
+        run). Training state stays: a retired trial re-evaluates (and even
+        resumes) correctly, just without the cache."""
+        self._rates_cache.pop(trial.trial_id, None)
+
     def full_error(self, trial: Trial, scheme: str = "weighted") -> float:
         from repro.fl.evaluation import federated_error
 
         rates = self.error_rates(trial)
-        return federated_error(rates, self.dataset.eval_weights(scheme))
+        return federated_error(rates, self.eval_weights(scheme))
 
     def eval_weights(self, scheme: str) -> np.ndarray:
-        return self.dataset.eval_weights(scheme)
+        """Full-pool weights, computed once per scheme and returned as a
+        read-only array (``full_error`` and every noise stack share it)."""
+        weights = self._eval_weights_cache.get(scheme)
+        if weights is None:
+            weights = self.dataset.eval_weights(scheme)
+            weights.setflags(write=False)
+            self._eval_weights_cache[scheme] = weights
+        return weights

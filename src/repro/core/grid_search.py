@@ -67,7 +67,8 @@ class GridSearch(BaseTuner):
     def _run(self) -> None:
         n = len(self._grid)
         rounds_per_config = max(1, self.total_budget // n)
-        # Grid points are fixed upfront, so the whole sweep is one batch.
+        # Grid points are fixed upfront, so the whole sweep is one batch —
+        # for training (advance_many) and evaluation (error_rates_many).
         trials, snapshots = self.create_and_train(self._grid, rounds_per_config)
-        for trial, used in zip(trials, snapshots):
-            self.observe(trial, budget_used=used)
+        self.observe_many(zip(trials, snapshots))
+        self.retire_trials(trials)

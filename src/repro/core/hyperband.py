@@ -142,24 +142,30 @@ class Hyperband(BaseTuner):
     # -- execution ----------------------------------------------------------------
     def _run_bracket(self, n_configs: int, r0: int) -> None:
         trials = [self.runner.create(self.propose()) for _ in range(n_configs)]
-        for n_active, target_rounds in sha_rungs(n_configs, r0, self.eta, self._max_rounds):
+        rungs = sha_rungs(n_configs, r0, self.eta, self._max_rounds)
+        for rung_idx, (n_active, target_rounds) in enumerate(rungs):
             active = trials[:n_active]
             # A rung's trials are independent: grant their budget serially,
             # train them as one advance_many batch (parallel runners fan it
-            # across workers), then evaluate in rung order. Evaluation-noise
-            # draws and budget snapshots land exactly as in a serial loop.
+            # across workers), then evaluate them as one error_rates_many
+            # batch (stacked/pooled runners score the whole rung in a
+            # single fused sweep). Evaluation-noise draws and budget
+            # snapshots land exactly as in a serial loop.
             planned, snapshots, truncated = self.train_trials(
                 (trial, target_rounds - trial.rounds) for trial in active
             )
-            scores = [
-                self.observe(trial, budget_used=used)
-                for (trial, _), used in zip(planned, snapshots)
-            ]
+            scores = self.observe_many(
+                [(trial, used) for (trial, _), used in zip(planned, snapshots)]
+            )
             if truncated:
                 return
             # Promote the best ``n // eta`` (by noisy score) to the next rung.
             order = np.argsort(scores, kind="stable")
             trials = [active[i] for i in order]
+            # Rung losers are never advanced or read again: release their
+            # cached full-pool rate vectors (the incumbent is protected).
+            survivors = rungs[rung_idx + 1][0] if rung_idx + 1 < len(rungs) else 0
+            self.retire_trials(trials[survivors:])
             if self.ledger.exhausted:
                 return
 

@@ -16,12 +16,12 @@ configuration bank produce.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.privacy import PrivacyConfig
-from repro.fl.sampling import BiasedSampler, UniformSampler
+from repro.core.privacy import PrivacyConfig, value_release_scale
+from repro.fl.sampling import BiasedSampler, UniformSampler, biased_weights
 from repro.utils.rng import SeedLike, as_rng
 from repro.utils.stats import weighted_mean
 
@@ -147,3 +147,77 @@ class NoisyEvaluator:
             cohort=cohort,
             exact_subsampled_error=exact,
         )
+
+    def evaluate_repeated(self, error_rates: np.ndarray, n_repeats: int) -> List[NoisyEvaluation]:
+        """``n_repeats`` independent releases of one config's error rates,
+        bit-identical to ``[self.evaluate(rates) for _ in range(n_repeats)]``.
+
+        This is the hot call of repeated-evaluation consumers — robust
+        tuner resampling and the figure sweeps, which release thousands of
+        evaluations per bank config. Per-call overhead (validation, array
+        coercion, weight lookups) is paid once, and RNG draws batch where
+        NumPy's stream semantics keep the batch exactly equal to the
+        serial loop:
+
+        - **biased, non-private** (the systems-heterogeneity sweeps): all
+          cohorts' Gumbel keys come from ONE ``rng.gumbel((R, n))`` call —
+          NumPy fills row-major with one uniform per variate, so the
+          stream is consumed exactly as R sequential ``gumbel(n)`` calls
+          consume it — followed by one row-wise ``argpartition``.
+        - **uniform** cohorts use ``Generator.choice(replace=False)``,
+          whose rejection sampling consumes a data-dependent number of
+          variates; and **DP** interleaves a Laplace draw after every
+          cohort draw. Both draw serially (stream order is the contract);
+          only the bookkeeping batches.
+
+        The per-repeat weighted means intentionally reuse
+        :func:`~repro.utils.stats.weighted_mean` (``np.dot``) rather than
+        a row-batched reduction — pairwise-vs-dot summation differs in the
+        last ulp, and bit-identity to :meth:`evaluate` wins here.
+        """
+        if n_repeats < 1:
+            raise ValueError(f"n_repeats must be >= 1, got {n_repeats}")
+        error_rates = np.asarray(error_rates, dtype=np.float64)
+        if error_rates.shape != self.weights.shape:
+            raise ValueError(
+                f"error_rates shape {error_rates.shape} != weights {self.weights.shape}"
+            )
+        size = self.noise.cohort_size(self.n_clients)
+        private = self.privacy.enabled
+        noise_draws: Optional[np.ndarray] = None
+        if self._biased is not None and not private:
+            # sample_cohort recomputes accuracies/probs per call from the
+            # same rates, so hoisting them changes no values.
+            probs = biased_weights(1.0 - error_rates, self._biased.b, self._biased.delta)
+            gumbel = self.rng.gumbel(size=(n_repeats, self.n_clients))
+            keys = np.log(probs) + gumbel
+            cohorts = np.argpartition(-keys, size - 1, axis=1)[:, :size]
+        else:
+            cohorts = np.empty((n_repeats, size), dtype=np.intp)
+            if private:
+                noise_draws = np.empty(n_repeats)
+                scale = value_release_scale(
+                    self.privacy.epsilon, size, self.privacy.total_releases
+                )
+            for r in range(n_repeats):
+                cohorts[r] = self.sample_cohort(error_rates)
+                if private:
+                    # Same stream position as evaluate()'s noisy_accuracy
+                    # (the Laplace draw does not depend on the accuracy).
+                    noise_draws[r] = self.rng.laplace(0.0, scale)
+        out: List[NoisyEvaluation] = []
+        for r in range(n_repeats):
+            # Per-repeat copy: evaluate() hands out independent cohort
+            # arrays, and a row view would alias (and pin) the whole batch.
+            cohort = cohorts[r].copy()
+            exact = weighted_mean(error_rates[cohort], self.weights[cohort])
+            accuracy = 1.0 - exact
+            noisy_acc = float(accuracy + noise_draws[r]) if private else float(accuracy)
+            out.append(
+                NoisyEvaluation(
+                    error=1.0 - noisy_acc,
+                    cohort=cohort,
+                    exact_subsampled_error=exact,
+                )
+            )
+        return out

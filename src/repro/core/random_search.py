@@ -68,12 +68,16 @@ class RandomSearch(BaseTuner):
                 trial = self.runner.create(self.propose())
                 self.train_trial(trial, rounds_per_config)
                 self.observe(trial)
+                # Scored exactly once: release the cached rate vector now
+                # (the incumbent's is kept until dethroned).
+                self.retire_trials([trial])
             return
         # Phase 1: propose and fund every config that starts within the
         # budget, training them as one batch. Phase 2: evaluate in
-        # proposal order with the recorded budget snapshots.
+        # proposal order (one error_rates_many batch) with the recorded
+        # budget snapshots.
         trials, snapshots = self.create_and_train(
             (self.propose() for _ in range(self.n_configs)), rounds_per_config
         )
-        for trial, used in zip(trials, snapshots):
-            self.observe(trial, budget_used=used)
+        self.observe_many(zip(trials, snapshots))
+        self.retire_trials(trials)

@@ -72,7 +72,9 @@ class ResampledRandomSearch(RandomSearch):
         return self.n_configs * self.n_resamples
 
     def _evaluate_rates(self, rates: np.ndarray) -> NoisyEvaluation:
-        evals = [self.evaluator.evaluate(rates) for _ in range(self.n_resamples)]
+        # One batched release (bit-identical to the per-repeat loop; the
+        # biased-sampler path draws every cohort in a single RNG call).
+        evals = self.evaluator.evaluate_repeated(rates, self.n_resamples)
         agg = np.mean if self.aggregate == "mean" else np.median
         return NoisyEvaluation(
             error=float(agg([e.error for e in evals])),
@@ -119,16 +121,17 @@ class TwoStageRandomSearch(RandomSearch):
         trials, snapshots = self.create_and_train(
             (self.propose() for _ in range(self.n_configs)), rounds_per_config
         )
-        screening = [
-            self.observe(trial, budget_used=used) for trial, used in zip(trials, snapshots)
-        ]
+        screening = self.observe_many(zip(trials, snapshots))
         if not trials:
             return
         # Stage 2: fresh evaluations for the screening top-k. The final
-        # incumbent is decided purely by stage-2 scores.
+        # incumbent is decided purely by stage-2 scores. Non-finalists are
+        # done for good — release their cached rate vectors now.
         order = np.argsort(screening, kind="stable")
         finalists = [trials[i] for i in order[: self.n_finalists]]
+        self.retire_trials([trials[i] for i in order[self.n_finalists :]])
         self._incumbent = None
         self._incumbent_noisy = np.inf
         for trial in finalists:
             self.observe(trial)
+        self.retire_trials(finalists)

@@ -81,6 +81,13 @@ class BaseTuner:
         self.curve: List[CurvePoint] = []
         self._incumbent: Optional[Trial] = None
         self._incumbent_noisy = np.inf
+        # Memo of the incumbent's full-pool error, keyed by (trial_id,
+        # rounds): observe() records a curve point per observation, but the
+        # value only changes when the incumbent (or its round count) does.
+        self._incumbent_full: Optional[tuple] = None
+        # Eliminated trials that were the incumbent at retire time: their
+        # cached evaluation state is released once they are dethroned.
+        self._retire_on_dethrone: Dict[int, Trial] = {}
 
     # -- subclass interface ----------------------------------------------------
     def planned_releases(self) -> int:
@@ -203,19 +210,59 @@ class BaseTuner:
             )
         )
         if evaluation.error < self._incumbent_noisy:
+            old = self._incumbent
             self._incumbent = trial
             self._incumbent_noisy = evaluation.error
+            if old is not None and old.trial_id != trial.trial_id:
+                deferred = self._retire_on_dethrone.pop(old.trial_id, None)
+                if deferred is not None:
+                    self.runner.retire(deferred)
         # Record the curve even when the incumbent is unchanged: budget moved.
         if self._incumbent is not None:
+            inc = self._incumbent
+            memo = self._incumbent_full
+            if memo is None or memo[0] != inc.trial_id or memo[1] != inc.rounds:
+                memo = (
+                    inc.trial_id,
+                    inc.rounds,
+                    self.runner.full_error(inc, scheme=self.noise.scheme),
+                )
+                self._incumbent_full = memo
             self.curve.append(
                 CurvePoint(
                     budget_used=used,
-                    incumbent_trial_id=self._incumbent.trial_id,
+                    incumbent_trial_id=inc.trial_id,
                     noisy_error=self._incumbent_noisy,
-                    full_error=self.runner.full_error(self._incumbent, scheme=self.noise.scheme),
+                    full_error=memo[2],
                 )
             )
         return evaluation.error
+
+    def observe_many(self, evaluations) -> List[float]:
+        """Batch :meth:`observe` over ``[(trial, budget_used), ...]``.
+
+        Rate vectors for the whole batch are prefetched through
+        :meth:`TrialRunner.error_rates_many` — which stacked/pooled
+        runners score as one fused sweep — then each trial is observed in
+        order. Evaluation consumes no tuner RNG, so noise draws, incumbent
+        updates, and curve points land exactly as in the serial loop.
+        """
+        evaluations = list(evaluations)
+        self.runner.error_rates_many([trial for trial, _ in evaluations])
+        return [self.observe(trial, budget_used=used) for trial, used in evaluations]
+
+    def retire_trials(self, trials) -> None:
+        """Release eliminated trials' cached evaluation state.
+
+        The current incumbent is never retired directly — its rate vector
+        backs every subsequent curve point — but is remembered and
+        released if a later observation dethrones it.
+        """
+        for trial in trials:
+            if self._incumbent is not None and trial.trial_id == self._incumbent.trial_id:
+                self._retire_on_dethrone[trial.trial_id] = trial
+            else:
+                self.runner.retire(trial)
 
     def run(self) -> TuningResult:
         """Execute the method and package the result."""

@@ -3,9 +3,12 @@
 A thin convenience over :class:`repro.core.evaluator.FederatedTrialRunner`
 that wires in a :class:`repro.engine.executor.ProcessExecutor`, so
 Hyperband rungs, random-search batches, and any other ``advance_many``
-caller fan trial training across worker processes. Results are
-bit-identical to the serial runner for the same seed — each trial's
-trainer owns its RNG stream and round-trips its state through the worker.
+caller fan trial training across worker processes — and ``error_rates_many``
+batches fan whole-rung *evaluation* the same way (each worker runs the
+serial reference evaluation and ships back only its rate vector; rates
+consume no RNG, so nothing merges back). Results are bit-identical to the
+serial runner for the same seed — each trial's trainer owns its RNG stream
+and round-trips its state through the worker.
 """
 
 from __future__ import annotations

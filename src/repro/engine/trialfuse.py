@@ -14,6 +14,14 @@ identical per-trial RNG end state, and exact serial fallback for trials
 that diverge mid-round. Fused-built banks get their own
 :class:`~repro.engine.bank_store.BankStore` cache key (the ``cohort_mode``
 key field).
+
+Evaluation fuses too: ``error_rates_many`` groups a rung's trials by
+architecture and pushes the whole validation pool through one
+:class:`~repro.nn.stacked.StackedModel` inference slab — *borrowing the
+training slab the rung just used*, so parameters never unstack/restack
+between a rung's training and its promotion scoring. Per trial the rate
+vectors are bit-identical to serial ``client_error_rates``
+(``tests/fl/test_eval_fused.py``).
 """
 
 from __future__ import annotations

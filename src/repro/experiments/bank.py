@@ -86,9 +86,13 @@ def _build_fused(dataset, configs, seeds, ckpts, clients_per_round, scheme, stor
 
     All configs share the dataset's architecture, so the fused pool merges
     every config's cohort into one slab and advances the pool checkpoint
-    to checkpoint in lockstep, evaluating each trainer at each stop —
-    the same visitation the per-config loop performs, with each trainer
-    owning its serially-pre-drawn seed and RNG stream.
+    to checkpoint in lockstep. Each checkpoint's per-config snapshot is
+    one fused evaluation sweep (:meth:`FusedTrainerPool.evaluate`): the
+    whole validation pool pushes through a single inference slab —
+    borrowed from the training slab the pool just used — instead of
+    re-running the full pool once per config. Per config the rates are
+    bit-identical to the per-config loop's ``eval_error_rates``, with each
+    trainer owning its serially-pre-drawn seed and RNG stream.
     """
     from repro.fl.fused import FusedTrainerPool
 
@@ -110,8 +114,9 @@ def _build_fused(dataset, configs, seeds, ckpts, clients_per_round, scheme, stor
     ]
     for c, rounds in enumerate(ckpts):
         pool.advance(trainers, [rounds - t.rounds_completed for t in trainers])
+        all_rates = pool.evaluate(trainers)
         for k, trainer in enumerate(trainers):
-            errors[k][c] = trainer.eval_error_rates()
+            errors[k][c] = all_rates[k]
             if store_params:
                 params[k][c] = trainer.params
     return list(zip(errors, params))
@@ -305,17 +310,35 @@ class ConfigBank:
 
         Requires ``store_params=True`` at build time. Used by the Figure-4
         heterogeneity experiment, which repartitions validation data while
-        keeping trained models fixed.
+        keeping trained models fixed. When the architecture has stacked
+        inference kernels, each checkpoint re-evaluates as one cross-config
+        :class:`~repro.fl.evaluation.StackedEvalEngine` sweep (bit-identical
+        per config to the serial loop it replaces).
         """
+        from repro.fl.evaluation import StackedEvalEngine
+        from repro.nn.stacked import eval_stack_signature
+
         if self.params is None:
             raise ValueError("bank was built without store_params=True")
         clients = eval_clients if eval_clients is not None else dataset.eval_clients
         model = dataset.task.build_model(0)
         errors = np.empty((self.n_configs, len(self.checkpoints), len(clients)))
-        for k in range(self.n_configs):
+        signature = eval_stack_signature(model)
+        if signature is not None and self.n_configs > 1:
+            engine = StackedEvalEngine()
             for c in range(len(self.checkpoints)):
-                set_flat_params(model, self.params[k, c])
-                errors[k, c] = client_error_rates(model, clients, dataset.task)
+                errors[:, c, :] = engine.error_rates_many(
+                    model,
+                    [self.params[k, c] for k in range(self.n_configs)],
+                    clients,
+                    dataset.task,
+                    signature=signature,
+                )
+        else:
+            for k in range(self.n_configs):
+                for c in range(len(self.checkpoints)):
+                    set_flat_params(model, self.params[k, c])
+                    errors[k, c] = client_error_rates(model, clients, dataset.task)
         sizes = np.array([cl.n for cl in clients], dtype=np.float64)
         return ConfigBank(
             dataset_name=self.dataset_name,

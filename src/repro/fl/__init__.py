@@ -29,9 +29,15 @@ from repro.fl.server import (
 from repro.fl.sampling import BiasedSampler, UniformSampler, biased_weights
 from repro.fl.trainer import FederatedTrainer, LocalTrainingConfig
 from repro.fl.evaluation import (
+    EvalChunkPlan,
+    StackedEvalEngine,
+    clear_eval_plan_cache,
     client_error_rates,
+    eval_chunk_plan,
     evaluate_model,
+    fused_group_rates,
     federated_error,
+    stacked_client_error_rates,
     tail_error,
 )
 
@@ -58,9 +64,15 @@ __all__ = [
     "biased_weights",
     "FederatedTrainer",
     "LocalTrainingConfig",
+    "EvalChunkPlan",
+    "StackedEvalEngine",
+    "clear_eval_plan_cache",
     "client_error_rates",
+    "eval_chunk_plan",
     "evaluate_model",
+    "fused_group_rates",
     "federated_error",
+    "stacked_client_error_rates",
     "tail_error",
 ]
 

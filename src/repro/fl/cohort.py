@@ -170,6 +170,15 @@ class SlabTrainer:
     def n_params(self) -> int:
         return self._stacked.n_params
 
+    @property
+    def stacked_model(self) -> StackedModel:
+        """The underlying slab model. Between :meth:`train_groups` calls
+        its rows are free scratch — every round reloads them from the
+        groups' start vectors — so fused evaluation borrows it as an
+        inference slab (:meth:`~repro.nn.stacked.StackedModel.forward_eval`)
+        instead of allocating a second ``(C, P)`` allocation."""
+        return self._stacked
+
     def ensure_capacity(self, rows: int) -> None:
         """Grow the slab (and every row-shaped buffer) to hold ``rows``."""
         if rows <= self.capacity:

@@ -28,22 +28,79 @@ can drive it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.fl.cohort import SlabGroup, SlabTrainer
+from repro.fl.evaluation import StackedEvalEngine, fused_group_rates
 from repro.fl.trainer import FederatedTrainer
-from repro.nn.stacked import STACKED_LOSSES, collect_dropout_rngs, stack_signature
+from repro.nn.stacked import (
+    STACKED_LOSSES,
+    StackedModel,
+    collect_dropout_rngs,
+    stack_signature,
+)
 
 
 class FusedTrainerPool:
     """Advances batches of :class:`~repro.fl.trainer.FederatedTrainer`\\ s
     in cross-trial lockstep, one shared :class:`SlabTrainer` per model
     architecture (slabs are cached across calls, so successive rungs of a
-    tuning run reuse one allocation).
+    tuning run reuse one allocation). :meth:`evaluate` is the matching
+    read path: every trainer of a batch is scored on the validation pool
+    through one inference slab — borrowing the training slab the batch
+    just used, so a train→evaluate rung cycle never unstacks and restacks
+    parameters.
     """
 
     def __init__(self) -> None:
         self._slabs: Dict[tuple, SlabTrainer] = {}
+        self._eval_engine: Optional[StackedEvalEngine] = None
+
+    def stacked_model(self, key: tuple, rows: int) -> Optional[StackedModel]:
+        """The training slab's model for ``key`` when it can already hold
+        ``rows`` copies (else ``None``) — the borrow handle fused
+        evaluation uses. ``key`` is the ``(stack_signature, loss_fn)``
+        grouping key of :meth:`advance`."""
+        slab = self._slabs.get(key)
+        if slab is not None and slab.capacity >= rows:
+            return slab.stacked_model
+        return None
+
+    def evaluate(self, trainers: Sequence[FederatedTrainer]) -> List[np.ndarray]:
+        """Per-validation-client error rates for every trainer, fused.
+
+        Same-architecture trainers (grouped by
+        :func:`~repro.nn.stacked.eval_stack_signature`, which also admits
+        models whose *training* falls back to serial, e.g. shared-generator
+        Dropout) evaluate as one stacked inference sweep over the pool's
+        cached chunk plan; singleton groups and unstackable models use the
+        serial :meth:`~repro.fl.trainer.FederatedTrainer.eval_error_rates`.
+        Per trainer the result is bit-identical to the serial call.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(trainers)
+        by_dataset: Dict[int, List[int]] = {}
+        for i, trainer in enumerate(trainers):
+            by_dataset.setdefault(id(trainer.dataset), []).append(i)
+        for members in by_dataset.values():
+            dataset = trainers[members[0]].dataset
+            if self._eval_engine is None:
+                self._eval_engine = StackedEvalEngine()
+            rates = fused_group_rates(
+                self._eval_engine,
+                [trainers[i].model for i in members],
+                [trainers[i].params for i in members],
+                dataset.eval_clients,
+                dataset.task,
+                pool=self,
+            )
+            for row, i in zip(rates, members):
+                results[i] = row
+        for i, row in enumerate(results):
+            if row is None:
+                results[i] = trainers[i].eval_error_rates()
+        return results
 
     # -- public API ----------------------------------------------------------
     def advance(self, trainers: Sequence[FederatedTrainer], rounds: Sequence[int]) -> None:

@@ -246,10 +246,24 @@ class FederatedTrainer:
                 rng.bit_generator.state = rng_state
 
     # -- evaluation conveniences --------------------------------------------
-    def eval_error_rates(self) -> np.ndarray:
-        """Per-validation-client error rates of the current global model."""
+    def eval_error_rates(self, max_chunk_examples: int = 4096) -> np.ndarray:
+        """Per-validation-client error rates of the current global model.
+
+        This is the serial reference path: chunked batched forwards over
+        the pool's cached :class:`~repro.fl.evaluation.EvalChunkPlan`
+        (shared with the stacked engine, so serial and fused evaluation
+        see identical chunk boundaries). Batch callers — tuner rungs, bank
+        snapshots — should prefer ``TrialRunner.error_rates_many`` /
+        ``FusedTrainerPool.evaluate``, which score many same-architecture
+        trainers through one inference slab.
+        """
         set_flat_params(self.model, self.params)
-        return client_error_rates(self.model, self.dataset.eval_clients, self.dataset.task)
+        return client_error_rates(
+            self.model,
+            self.dataset.eval_clients,
+            self.dataset.task,
+            max_chunk_examples=max_chunk_examples,
+        )
 
     def full_validation_error(self, scheme: Optional[str] = None) -> float:
         """Full-pool validation error (Eq. 2 with S = [N_val])."""

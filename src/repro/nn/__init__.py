@@ -55,6 +55,7 @@ from repro.nn.stacked import (
     StackedSigmoid,
     StackedTanh,
     collect_dropout_rngs,
+    eval_stack_signature,
     stack_signature,
     stacked_mse,
     stacked_sequence_cross_entropy,
@@ -115,6 +116,7 @@ __all__ = [
     "StackedSigmoid",
     "StackedTanh",
     "collect_dropout_rngs",
+    "eval_stack_signature",
     "stack_signature",
     "stacked_mse",
     "stacked_sequence_cross_entropy",

@@ -72,6 +72,23 @@ class StackedLinear(Module):
     ``(k, B, in)`` with ``k <= C`` (prefix activation).
     """
 
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        w = self.weight.data[:k]
+        if shared:
+            # One shared input for all k copies: matmul broadcasts the
+            # (B*, in) matrix against the (k, in, out) weight stack, so
+            # each copy runs the exact dgemm the serial layer would.
+            x2 = x.reshape(-1, self.in_features)
+            y = np.matmul(x2, w)
+            if self.bias is not None:
+                y += self.bias.data[:k, None, :]
+            return y.reshape((k,) + x.shape[:-1] + (self.out_features,)), False
+        x3 = x.reshape(k, -1, self.in_features)
+        y = np.matmul(x3, w)
+        if self.bias is not None:
+            y += self.bias.data[:k, None, :]
+        return y.reshape(x.shape[:-1] + (self.out_features,)), False
+
     def __init__(self, weight: np.ndarray, bias: Optional[np.ndarray]):
         super().__init__()
         if weight.ndim != 3:
@@ -117,6 +134,24 @@ class StackedConv2D(Module):
     unfold is per-image, so collapsing is exact); the per-copy weights then
     apply as one batched ``(k, B*oh*ow, ckk) @ (k, ckk, out_c)`` matmul.
     """
+
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        ksz = self.kernel_size
+        w2 = self.weight.data[:k].reshape(k, self.out_channels, -1)
+        if shared:
+            # The unfold is copy-independent, so run it once on the shared
+            # batch and broadcast the column matrix across the k copies.
+            b = x.shape[0]
+            cols, out_h, out_w = im2col(x, ksz, ksz, self.stride, self.pad)
+            y = np.matmul(cols, w2.transpose(0, 2, 1))  # (k, B*oh*ow, out_c)
+        else:
+            kk, b = x.shape[:2]
+            cols, out_h, out_w = im2col(
+                x.reshape((kk * b,) + x.shape[2:]), ksz, ksz, self.stride, self.pad
+            )
+            y = np.matmul(cols.reshape(kk, b * out_h * out_w, -1), w2.transpose(0, 2, 1))
+        y += self.bias.data[:k, None, :]
+        return y.reshape(k, b, out_h, out_w, self.out_channels).transpose(0, 1, 4, 2, 3), False
 
     def __init__(
         self,
@@ -196,6 +231,19 @@ class StackedMaxPool2D(MaxPool2D):
         dx = MaxPool2D.backward(self, dy.reshape((k * b,) + dy.shape[2:]))
         return dx.reshape(self._stack_shape)
 
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        # Pooling is per-window and parameter-free: a shared input stays
+        # shared, and no argmax mask is cached.
+        p = self.pool_size
+        if shared:
+            n, c, h, w = x.shape
+            return x.reshape(n, c, h // p, p, w // p, p).max(axis=(3, 5)), True
+        kk, b = x.shape[:2]
+        x2 = x.reshape((kk * b,) + x.shape[2:])
+        n, c, h, w = x2.shape
+        y = x2.reshape(n, c, h // p, p, w // p, p).max(axis=(3, 5))
+        return y.reshape((kk, b) + y.shape[1:]), False
+
 
 class StackedFlatten(Module):
     """Collapse all but the copy and batch axes: ``(k, B, ...) -> (k, B, F)``."""
@@ -211,18 +259,50 @@ class StackedFlatten(Module):
     def backward(self, dy: np.ndarray) -> np.ndarray:
         return dy.reshape(self._x_shape)
 
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        if shared:
+            return x.reshape(x.shape[0], -1), True
+        return x.reshape(x.shape[0], x.shape[1], -1), False
+
+
+def _relu_eval(x: np.ndarray) -> np.ndarray:
+    # Mirrors ReLU.forward exactly (copy + in-place bool-mask multiply),
+    # including its NaN/inf propagation for diverged models.
+    out = x.astype(np.float64, copy=True)
+    out *= x > 0
+    return out
+
+
+def _sigmoid_eval(x: np.ndarray) -> np.ndarray:
+    # Mirrors Sigmoid.forward's stable piecewise formulation elementwise.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
 
 class StackedReLU(ReLU):
     """ReLU over ``(k, B, ...)`` — elementwise, so the serial kernel is
     already stacked; the subclass only documents the shape contract."""
 
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        return _relu_eval(x), shared
+
 
 class StackedTanh(Tanh):
     """Tanh over ``(k, B, ...)`` (elementwise; serial kernel reused)."""
 
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        return np.tanh(x), shared
+
 
 class StackedSigmoid(Sigmoid):
     """Sigmoid over ``(k, B, ...)`` (elementwise; serial kernel reused)."""
+
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        return _sigmoid_eval(x), shared
 
 
 class StackedDropout(Module):
@@ -310,6 +390,12 @@ class StackedDropout(Module):
             return dy
         return dy * self._mult
 
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        # Inference dropout is the identity (as in the serial layer's eval
+        # mode); no mask plan or generator state is touched, so evaluating
+        # from a training slab never perturbs its pre-drawn streams.
+        return x, shared
+
 
 class StackedEmbedding(Module):
     """C independent token tables: ``(k, B, ...)`` int ids -> ``(..., D)``.
@@ -356,6 +442,16 @@ class StackedEmbedding(Module):
         else:
             self._dx_zero.fill(0.0)
         return self._dx_zero
+
+    def eval_forward(self, ids: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        w = self.weight.data[:k]
+        if shared:
+            # Shared integer ids gather each copy's table: (k, B, ..., D).
+            # Ids come from evaluation data already validated during
+            # training, so the serial layer's range check is skipped.
+            return w[:, ids], False
+        copy_idx = np.arange(k).reshape((k,) + (1,) * (ids.ndim - 1))
+        return w[copy_idx, ids], False
 
 
 class StackedLSTMCell(Module):
@@ -488,6 +584,39 @@ class StackedLSTM(Module):
                 dx[:, :, t, :] = dx_t
             dinputs = dx
         return dinputs
+
+    def eval_forward(self, x: np.ndarray, k: int, shared: bool) -> Tuple[np.ndarray, bool]:
+        # Cache-free inference mirroring the serial cell's arithmetic
+        # kernel for kernel. A still-shared input only stays shared for the
+        # very first gate projection (matmul broadcasts it against the
+        # stacked w_x); the recurrent state is per-copy from step one.
+        h_sz = self.hidden_size
+        inputs = x
+        for cell in self.cells:
+            if shared:
+                n, t_steps = inputs.shape[0], inputs.shape[1]
+            else:
+                n, t_steps = inputs.shape[1], inputs.shape[2]
+            h = np.zeros((k, n, h_sz))
+            c = np.zeros((k, n, h_sz))
+            outputs = np.empty((k, n, t_steps, h_sz))
+            for t in range(t_steps):
+                x_t = inputs[:, t, :] if shared else inputs[:, :, t, :]
+                gates = (
+                    np.matmul(x_t, cell.w_x.data[:k])
+                    + np.matmul(h, cell.w_h.data[:k])
+                    + cell.bias.data[:k, None, :]
+                )
+                i = _sigmoid(gates[:, :, 0 * h_sz : 1 * h_sz])
+                f = _sigmoid(gates[:, :, 1 * h_sz : 2 * h_sz])
+                g = np.tanh(gates[:, :, 2 * h_sz : 3 * h_sz])
+                o = _sigmoid(gates[:, :, 3 * h_sz : 4 * h_sz])
+                c = f * c + i * g
+                h = o * np.tanh(c)
+                outputs[:, :, t, :] = h
+            inputs = outputs
+            shared = False
+        return inputs, False
 
 
 # -- stacked losses -----------------------------------------------------------
@@ -695,18 +824,29 @@ def _iter_leaves(module: Module):
         yield module
 
 
+def _stackable_leaves(module: Module) -> Optional[List[Module]]:
+    """Leaf layers of ``module`` when every one has a stacked counterpart,
+    else ``None`` (the structural half of :func:`supports_stacking`)."""
+    if not isinstance(module, Sequential):
+        return None
+    leaves = list(_iter_leaves(module))
+    if not all(type(leaf) in STACK_FACTORIES for leaf in leaves):
+        return None
+    return leaves
+
+
 def supports_stacking(module: Module) -> bool:
     """True iff every leaf layer of ``module`` has a stacked counterpart.
 
     The one structural refusal left: several active Dropout layers sharing
     one generator object — per-layer mask pre-draw cannot reproduce the
     serial loop's interleaved draw order from a single stream, so such
-    models keep the serial per-client path.
+    models keep the serial per-client path. (This refusal applies to
+    *training* only: inference dropout is the identity, so
+    :func:`eval_stack_signature` accepts such models.)
     """
-    if not isinstance(module, Sequential):
-        return False
-    leaves = list(_iter_leaves(module))
-    if not all(type(leaf) in STACK_FACTORIES for leaf in leaves):
+    leaves = _stackable_leaves(module)
+    if leaves is None:
         return False
     rngs = [id(leaf.rng) for leaf in leaves if isinstance(leaf, Dropout) and leaf.rate > 0]
     return len(set(rngs)) == len(rngs)
@@ -726,6 +866,20 @@ def collect_dropout_rngs(module: Module) -> List[np.random.Generator]:
     ]
 
 
+def _signature_parts(leaves: Sequence[Module]) -> tuple:
+    parts = []
+    for leaf in leaves:
+        extra = _SIGNATURE_EXTRAS.get(type(leaf))
+        parts.append(
+            (
+                type(leaf).__name__,
+                tuple(tuple(p.shape) for p in leaf.parameters()),
+                extra(leaf) if extra is not None else (),
+            )
+        )
+    return tuple(parts)
+
+
 def stack_signature(module: Module) -> Optional[tuple]:
     """Hashable architecture key, or ``None`` when stacking is unsupported.
 
@@ -738,17 +892,22 @@ def stack_signature(module: Module) -> Optional[tuple]:
     """
     if not supports_stacking(module):
         return None
-    parts = []
-    for leaf in _iter_leaves(module):
-        extra = _SIGNATURE_EXTRAS.get(type(leaf))
-        parts.append(
-            (
-                type(leaf).__name__,
-                tuple(tuple(p.shape) for p in leaf.parameters()),
-                extra(leaf) if extra is not None else (),
-            )
-        )
-    return tuple(parts)
+    return _signature_parts(list(_iter_leaves(module)))
+
+
+def eval_stack_signature(module: Module) -> Optional[tuple]:
+    """Architecture key for *inference* stacking, or ``None``.
+
+    Equal to :func:`stack_signature` whenever that is defined, but also
+    defined for models whose active Dropout layers share one generator:
+    inference dropout is the identity, so the training-side refusal does
+    not apply. The fused evaluation engine groups same-signature models
+    onto one :meth:`StackedModel.forward_eval` inference slab.
+    """
+    leaves = _stackable_leaves(module)
+    if leaves is None:
+        return None
+    return _signature_parts(leaves)
 
 
 class StackedModel(Module):
@@ -765,7 +924,11 @@ class StackedModel(Module):
         super().__init__()
         if n_copies < 1:
             raise ValueError(f"n_copies must be >= 1, got {n_copies}")
-        if not supports_stacking(template):
+        # Structural coverage only: generators are supplied per round via
+        # begin_round, so the shared-Dropout-generator *training* refusal
+        # (supports_stacking) is the trainers' gate, not the model's —
+        # inference-only slabs legitimately stack such templates.
+        if _stackable_leaves(template) is None:
             raise ValueError(
                 f"model {type(template).__name__} contains layers without stacked kernels"
             )
@@ -839,3 +1002,29 @@ class StackedModel(Module):
         for layer in reversed(self.layers):
             dy = layer.backward(dy)
         return dy
+
+    def forward_eval(self, x: np.ndarray, k: Optional[int] = None) -> np.ndarray:
+        """Inference of the leading ``k`` copies over ONE shared input batch.
+
+        ``x`` carries *no* copy axis — it is the batch every copy
+        evaluates, as in cross-trial validation sweeps where T models see
+        the same pool. Parameter-free prefix layers run the serial kernel
+        once; the first parameterised layer fans out to ``(k, B, ...)``
+        via a broadcast matmul/gather, after which stacked per-copy
+        kernels take over. Nothing is cached (no backward, no memory
+        bloat) and training state (Dropout plans/streams) is untouched,
+        so a *training* slab can be borrowed for evaluation between
+        rounds. Per copy the result is the serial model's forward on
+        ``x`` — same dgemm shapes, same elementwise ops — which is what
+        makes fused evaluation bit-identical to ``client_error_rates``
+        on the unstacked models.
+        """
+        k = self.n_copies if k is None else k
+        if not 1 <= k <= self.n_copies:
+            raise ValueError(f"k must be in [1, {self.n_copies}], got {k}")
+        h, shared = x, True
+        for layer in self.layers:
+            h, shared = layer.eval_forward(h, k, shared)
+        if shared:  # parameter-free model: every copy sees the same output
+            h = np.broadcast_to(h, (k,) + h.shape)
+        return h

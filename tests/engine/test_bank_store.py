@@ -149,9 +149,12 @@ class TestCohortModeKeySeparation:
     """Each non-serial cohort mode gets its own cache entry; serial keys
     stay unchanged (pre-vectorization caches remain valid)."""
 
-    def context_for(self, tmp_path, mode, n_workers=None):
+    def context_for(self, tmp_path, mode, n_workers=1):
         from repro.experiments import ExperimentContext
 
+        # n_workers defaults to 1 (not None) so an ambient REPRO_WORKERS —
+        # e.g. the nightly CI full job — cannot flip an in-process fused
+        # context into the worker-built (vectorized-keyed) regime.
         return ExperimentContext(
             preset="test",
             seed=0,
