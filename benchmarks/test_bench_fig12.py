@@ -5,7 +5,6 @@ RS on the client dataset under 1% subsampling and ε ∈ {1, 10, ∞} versus
 one-shot proxy tuning with each candidate proxy. Expectation 8: with
 enough evaluation noise (ε = 1), even a mismatched proxy is competitive."""
 
-import numpy as np
 
 from repro.experiments import format_table, run_figure12
 

@@ -5,7 +5,6 @@ wider space can only improve the pool's best config. Noisy (1 client,
 ε = 10): wider spaces admit more bad configs for noise to promote, so the
 noisy-selection penalty grows with the span."""
 
-import numpy as np
 
 from repro.experiments import format_table, run_figure13
 

@@ -2,7 +2,6 @@
 rounds). Hatched-bar degradation = noisy (1% clients + ε=100) minus
 noiseless."""
 
-import pytest
 
 from repro.experiments import bars_at_budget, format_table
 

@@ -4,7 +4,6 @@ Same runs as Figure 15 read at the final budget; noise keeps hurting even
 with the full budget spent."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import bars_at_budget, format_table
 

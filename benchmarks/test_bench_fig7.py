@@ -5,7 +5,6 @@ with poor global error but near-zero error on some client, so biased
 sampling towards lucky clients is catastrophic there; FEMNIST-like and
 StackOverflow-like are better behaved."""
 
-import numpy as np
 
 from repro.experiments import format_table, lucky_client_gap, run_figure7
 

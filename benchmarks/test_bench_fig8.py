@@ -6,7 +6,6 @@ validation clients + ε = 100 evaluation privacy. Expectation 6: HB/BOHB
 (the early-stopping methods) lose more under noise than RS/TPE."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import curve_medians, format_series
 

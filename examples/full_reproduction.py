@@ -36,7 +36,7 @@ ORDER = (
 )
 
 
-def main() -> None:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="test", choices=("test", "small", "paper"))
     parser.add_argument("--seed", type=int, default=0)
@@ -65,7 +65,11 @@ def main() -> None:
             "cross-trial fused slabs (default: $REPRO_COHORT_VECTOR)"
         ),
     )
-    args = parser.parse_args()
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
 
     if args.out_dir:
         os.makedirs(args.out_dir, exist_ok=True)

@@ -6,8 +6,11 @@ Contents:
 - :mod:`repro.core.noise` / :mod:`repro.core.privacy` — the evaluation-noise
   stack (client subsampling, systems-heterogeneity bias, Laplace DP).
 - Tuning methods: :class:`RandomSearch`, :class:`GridSearch`, :class:`TPE`,
-  :class:`SuccessiveHalving`, :class:`Hyperband`, :class:`BOHB`, and the
-  noise-immune :class:`OneShotProxySearch` baseline (§4).
+  :class:`SuccessiveHalving`, :class:`Hyperband`, :class:`BOHB`, the
+  noise-immune :class:`OneShotProxySearch` baseline (§4), and the
+  population family :class:`WeightSharingTuner` (FedEx-style) /
+  :class:`PopulationTuner` (FedPop-style) riding the fused slab
+  (:mod:`repro.core.population`).
 - :mod:`repro.core.evaluator` — trial runners bridging tuners to the FL
   simulator (or to a precomputed configuration bank).
 """
@@ -40,6 +43,7 @@ from repro.core.tpe import TPE, TPESampler
 from repro.core.hyperband import Hyperband, SuccessiveHalving, bracket_specs, sha_rungs
 from repro.core.bohb import BOHB
 from repro.core.proxy import OneShotProxySearch
+from repro.core.population import PopulationTuner, PopulationTunerBase, WeightSharingTuner
 from repro.core.robust import ResampledRandomSearch, TwoStageRandomSearch
 from repro.core.synthetic import SyntheticRunner, default_quality
 from repro.core.gp import GaussianProcess, RBFKernel, fit_gp_with_model_selection
@@ -91,4 +95,7 @@ __all__ = [
     "sha_rungs",
     "BOHB",
     "OneShotProxySearch",
+    "PopulationTuner",
+    "PopulationTunerBase",
+    "WeightSharingTuner",
 ]

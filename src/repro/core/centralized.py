@@ -14,14 +14,14 @@ pool, so the noise stack and all tuners work unchanged — with
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.core.evaluator import Trial, TrialRunner
 from repro.datasets.base import FederatedDataset
 from repro.fl.evaluation import client_error_rates, federated_error
-from repro.nn.module import Module, get_flat_params, set_flat_params
+from repro.nn.module import Module
 from repro.nn.optim import SGD
 from repro.utils.rng import SeedLike, as_rng
 

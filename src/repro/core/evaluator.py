@@ -9,7 +9,7 @@ precomputed configuration bank (:class:`repro.experiments.bank.BankTrialRunner`
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -140,6 +140,20 @@ class TrialRunner:
         per-trial evaluation state. Retiring is only a memory hint — a
         retired trial that *is* read again re-evaluates correctly, just
         without the cache. Default: no-op.
+        """
+
+    def invalidate(self, trial: Trial) -> None:
+        """Declare that ``trial``'s model state was mutated *in place*.
+
+        Population-based tuners (:mod:`repro.core.population`) rewrite a
+        live trial's parameters between training steps — FedEx-style
+        weight sharing overwrites every arm with the shared slab average,
+        FedPop-style exploit copies a winner's row over a loser — without
+        the trial's round count changing. Runners that cache evaluation
+        results keyed by ``(trial, rounds)`` MUST drop those entries here,
+        or the next read would report the pre-mutation model. Unlike
+        :meth:`retire`, the trial stays fully live. Default: no-op
+        (stateless runners have nothing to drop).
         """
 
     def full_error(self, trial: Trial, scheme: str = "weighted") -> float:
@@ -357,6 +371,13 @@ class FederatedTrialRunner(TrialRunner):
         rungs otherwise keep every loser's vector alive for the whole
         run). Training state stays: a retired trial re-evaluates (and even
         resumes) correctly, just without the cache."""
+        self._rates_cache.pop(trial.trial_id, None)
+
+    def invalidate(self, trial: Trial) -> None:
+        """Drop the cached rate vector after an in-place parameter rewrite
+        (population exploit copies / weight-sharing writes): the cache key
+        is ``(trial, rounds)`` and the round count did not move, so without
+        this the next read would serve the pre-rewrite model's rates."""
         self._rates_cache.pop(trial.trial_id, None)
 
     def full_error(self, trial: Trial, scheme: str = "weighted") -> float:

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.evaluator import TrialRunner
 from repro.core.noise import NoiseConfig
-from repro.core.search_space import Choice, Constant, SearchSpace
+from repro.core.search_space import Choice, SearchSpace
 from repro.core.tuner import BaseTuner
 from repro.utils.rng import SeedLike
 

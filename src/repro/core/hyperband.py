@@ -16,12 +16,11 @@ exactly by simulating the deterministic schedule upfront.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.evaluator import Trial, TrialRunner
+from repro.core.evaluator import TrialRunner
 from repro.core.noise import NoiseConfig
 from repro.core.search_space import SearchSpace
 from repro.core.tuner import BaseTuner

@@ -15,7 +15,7 @@ configuration bank produce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Union
 
 import numpy as np

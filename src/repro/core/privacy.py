@@ -18,7 +18,7 @@ w.r.t. client participation in evaluation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

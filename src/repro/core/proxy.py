@@ -14,16 +14,14 @@ quality is bounded instead by proxy/target task similarity (Figures 10-12).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import List, Optional
 
 from repro.core.evaluator import TrialRunner
 from repro.core.noise import NoiseConfig
 from repro.core.random_search import RandomSearch
 from repro.core.results import CurvePoint, TuningResult
 from repro.core.search_space import SearchSpace
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import SeedLike
 
 
 class OneShotProxySearch:

@@ -7,7 +7,7 @@ pick the one with the best noisy evaluation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.evaluator import TrialRunner
 from repro.core.noise import NoiseConfig

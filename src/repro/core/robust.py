@@ -19,7 +19,7 @@ privacy accounting so their true trade-offs are visible:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

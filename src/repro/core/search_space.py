@@ -23,7 +23,6 @@ model-based tuners (TPE) can operate in a common [0, 1]^d space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np

@@ -9,7 +9,7 @@ learnable on CPU in milliseconds.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

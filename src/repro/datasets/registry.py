@@ -11,8 +11,8 @@ paper's budget arithmetic depends on (see DESIGN.md §6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 

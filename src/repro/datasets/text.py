@@ -9,7 +9,7 @@ min 1, max ~14k — many *tiny* clients).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -2,11 +2,16 @@
 
 The third execution mode of the engine (after PR 1's process pool and
 PR 2's per-trainer vectorized cohorts): every ``advance_many`` batch —
-a Hyperband/SHA rung, a random-search batch, a grid sweep — is grouped by
-model architecture (:func:`repro.nn.stacked.stack_signature`) and each
-group trains as one ``(T*C, P)`` parameter slab, all trials' cohorts in
-lockstep, per-trial hyperparameters broadcast per slab row
-(:class:`repro.fl.fused.FusedTrainerPool`).
+a Hyperband/SHA rung, a random-search batch, a grid sweep, a population
+tuner's step (:mod:`repro.core.population`: FedEx weight sharing /
+FedPop perturbation, whose populations are *permanent* full-width
+batches) — is grouped by model architecture
+(:func:`repro.nn.stacked.stack_signature`) and each group trains as one
+``(T*C, P)`` parameter slab, all trials' cohorts in lockstep, per-trial
+hyperparameters broadcast per slab row
+(:class:`repro.fl.fused.FusedTrainerPool`). Population exploit/explore
+moves happen *between* slab passes as flat row copies and per-row
+hyperparameter-vector edits, so they cost nothing here.
 
 Equivalence to the serial runner (asserted in ``tests/fl/test_fused.py``):
 bit-identical when no ragged padding occurs, ~1e-15/round otherwise,

@@ -41,6 +41,7 @@ from repro.experiments.fig_methods import (
     bars_at_budget,
     curve_medians,
     make_tuner,
+    parse_methods,
     run_figure1,
     run_method_comparison,
 )

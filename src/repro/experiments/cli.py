@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Dict, List
 
 from repro.experiments import (
+    METHODS,
     ExperimentContext,
+    parse_methods,
     TABLE1_COLUMNS,
     TABLE2_COLUMNS,
     format_table,
@@ -94,6 +96,9 @@ _ARTIFACTS["fig14"] = _ARTIFACTS["fig10"]
 _ARTIFACTS["fig15"] = _ARTIFACTS["fig8"]
 _ARTIFACTS["fig16"] = _ARTIFACTS["fig8"]
 
+#: Artifacts driven by run_method_comparison, where --methods applies.
+METHOD_COMPARISON_ARTIFACTS = ("fig8", "fig15", "fig16")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -119,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for bank builds (default: $REPRO_WORKERS, else serial)",
     )
     parser.add_argument(
+        "--methods",
+        default=None,
+        help=(
+            "comma-separated tuner list for the method-comparison artifacts "
+            f"({', '.join(METHOD_COMPARISON_ARTIFACTS)}); any of "
+            f"{', '.join(sorted(METHODS))} (default: rs,tpe,hb,bohb)"
+        ),
+    )
+    parser.add_argument(
         "--cohort-mode",
         choices=("serial", "vectorized", "fused"),
         default=None,
@@ -141,6 +155,22 @@ def main(argv: List[str] = None) -> int:
         print("error: --artifact (or --list) is required", file=sys.stderr)
         return 2
     runner, columns = _ARTIFACTS[args.artifact]
+    if args.methods is not None:
+        try:
+            methods = parse_methods(args.methods)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.artifact not in METHOD_COMPARISON_ARTIFACTS:
+            print(
+                f"error: --methods only applies to "
+                f"{', '.join(METHOD_COMPARISON_ARTIFACTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        runner = lambda ctx, n: run_method_comparison(  # noqa: E731
+            ctx, methods=methods, n_trials=max(1, n // 10)
+        )
     ctx = ExperimentContext(
         preset=args.preset,
         seed=args.seed,

@@ -10,13 +10,10 @@ across all four datasets so that cross-dataset experiments (Figures 10-12,
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.search_space import SearchSpace, paper_space
-from repro.datasets.registry import DATASET_NAMES, DatasetScale, get_scale, load_dataset
+from repro.datasets.registry import DatasetScale, get_scale, load_dataset
 from repro.experiments.bank import ConfigBank
 from repro.utils.rng import RngFactory
 

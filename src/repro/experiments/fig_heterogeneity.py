@@ -18,7 +18,6 @@ import numpy as np
 
 from repro.core.noise import NoiseConfig
 from repro.datasets.partition import iid_repartition
-from repro.experiments.bank import ConfigBank
 from repro.experiments.context import ExperimentContext, subsample_grid
 from repro.experiments.fig_subsampling import bootstrap_rs_final_errors
 from repro.utils.records import Record

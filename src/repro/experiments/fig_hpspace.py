@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
-
 from repro.core.noise import NoiseConfig
 from repro.core.search_space import nested_server_lr_space
 from repro.experiments.bank import ConfigBank

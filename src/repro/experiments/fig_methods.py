@@ -21,6 +21,7 @@ from repro.core.bohb import BOHB
 from repro.core.evaluator import FederatedTrialRunner
 from repro.core.hyperband import Hyperband
 from repro.core.noise import NoiseConfig
+from repro.core.population import PopulationTuner, WeightSharingTuner
 from repro.core.random_search import RandomSearch
 from repro.core.tpe import TPE
 from repro.core.tuner import BaseTuner
@@ -32,6 +33,11 @@ METHODS: Dict[str, Type[BaseTuner]] = {
     "tpe": TPE,
     "hb": Hyperband,
     "bohb": BOHB,
+    # Population family (PR 5): one concurrently-trained config population
+    # per run — every training step is a fused advance_many slab pass and
+    # every scoring pass a stacked error_rates_many sweep.
+    "fedex": WeightSharingTuner,
+    "fedpop": PopulationTuner,
 }
 
 
@@ -61,6 +67,20 @@ PAPER_NOISY = NoiseConfig(subsample=0.01, epsilon=100.0, scheme="uniform")
 PAPER_NOISELESS = NoiseConfig()
 
 
+def parse_methods(raw: str) -> tuple:
+    """Split a comma-separated ``--methods`` value and validate it against
+    the :data:`METHODS` registry (the one copy of this logic, shared by
+    the experiments CLI and the example entrypoints). Raises ValueError
+    naming the unknown methods."""
+    methods = tuple(m.strip() for m in raw.split(",") if m.strip())
+    if not methods:
+        raise ValueError(f"empty method list; choose from {sorted(METHODS)}")
+    unknown = sorted(set(methods) - set(METHODS))
+    if unknown:
+        raise ValueError(f"unknown methods {unknown}; choose from {sorted(METHODS)}")
+    return methods
+
+
 def make_tuner(
     method: str,
     ctx: ExperimentContext,
@@ -79,12 +99,20 @@ def make_tuner(
         clients_per_round=ctx.clients_per_round,
         scheme=noise.scheme,
         seed=seed,
+        # The context's executor (REPRO_WORKERS / --workers) fans each
+        # advance_many batch — tuner rungs, population steps — across
+        # workers; parallel execution is bit-identical to serial.
+        executor=ctx.executor,
         cohort_mode=ctx.cohort_mode,
     )
     budget = total_budget if total_budget is not None else ctx.total_budget
     cls = METHODS[method]
     if method in ("rs", "tpe", "gp-ei", "gp-nei"):
         return cls(ctx.space, runner, noise, n_configs=k, total_budget=budget, seed=seed)
+    if method in ("fedex", "fedpop"):
+        return cls(
+            ctx.space, runner, noise, population_size=k, total_budget=budget, seed=seed
+        )
     return cls(ctx.space, runner, noise, total_budget=budget, seed=seed)
 
 

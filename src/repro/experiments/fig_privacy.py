@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.noise import NoiseConfig
 from repro.experiments.context import ExperimentContext, subsample_grid
 from repro.experiments.fig_subsampling import bootstrap_rs_final_errors

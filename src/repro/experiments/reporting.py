@@ -3,7 +3,7 @@ and figure axes read."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.utils.records import Record
 

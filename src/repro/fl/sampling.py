@@ -10,8 +10,6 @@ accuracy, δ = 1e-4 keeps weights positive, and ``b`` controls bias strength
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.utils.rng import SeedLike, as_rng

@@ -207,6 +207,42 @@ class FederatedTrainer:
             self.run_round()
         return self
 
+    # -- mid-run hyperparameter edits ----------------------------------------
+    def set_local_config(self, local: LocalTrainingConfig) -> None:
+        """Swap the client-side hyperparameters for all *future* rounds.
+
+        Population-based tuners perturb a live trial's client lr /
+        momentum / weight decay between training steps (FedPop's explore
+        move). Every cached executor of the old values is refreshed so the
+        serial, vectorized, and fused paths all see the new config from
+        the next round on: the serial :class:`ClientTrainer` is rebuilt,
+        the lazily-built per-trainer cohort slab is dropped (rebuilt on
+        the next standalone round), and the fused pool needs nothing —
+        it reads ``self.local`` fresh every round. Training state (params,
+        RNG streams, server-optimizer moments, round count) is untouched.
+        """
+        if local.batch_size != self.local.batch_size or local.epochs != self.local.epochs:
+            # Not a correctness limit — just out of scope: the paper-space
+            # perturbations touch the three SGD knobs only, and keeping
+            # the local step schedule fixed preserves the uniform-schedule
+            # fast path across a population slab.
+            raise ValueError(
+                "set_local_config only swaps lr/momentum/weight_decay/prox_mu; "
+                f"batch_size/epochs must stay "
+                f"({self.local.batch_size}, {self.local.epochs})"
+            )
+        self.local = local
+        self._client_trainer = ClientTrainer(
+            self.dataset.task,
+            lr=local.lr,
+            momentum=local.momentum,
+            weight_decay=local.weight_decay,
+            batch_size=local.batch_size,
+            epochs=local.epochs,
+            prox_mu=local.prox_mu,
+        )
+        self._cohort_trainer = None
+
     # -- state transport ----------------------------------------------------
     def state_dict(self) -> dict:
         """All mutable training state, as plain picklable data.

@@ -39,7 +39,15 @@ from repro.nn.layers import (
 )
 from repro.nn.recurrent import LSTM, LSTMCell
 from repro.nn.losses import mse_loss, softmax_cross_entropy, sequence_cross_entropy
-from repro.nn.optim import SGD, Adam, FlatSGD, Optimizer, fused_sgd_step
+from repro.nn.optim import (
+    SGD,
+    Adam,
+    FlatSGD,
+    Optimizer,
+    copy_slab_rows,
+    fused_sgd_step,
+    perturb_rows,
+)
 from repro.nn.stacked import (
     STACKED_LOSSES,
     StackedConv2D,
@@ -101,7 +109,9 @@ __all__ = [
     "Adam",
     "FlatSGD",
     "Optimizer",
+    "copy_slab_rows",
     "fused_sgd_step",
+    "perturb_rows",
     "STACKED_LOSSES",
     "StackedConv2D",
     "StackedDropout",

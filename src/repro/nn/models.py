@@ -11,10 +11,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
 from repro.nn.layers import Conv2D, Embedding, Flatten, Linear, MaxPool2D, ReLU
-from repro.nn.module import Module, Sequential
+from repro.nn.module import Sequential
 from repro.nn.recurrent import LSTM
 from repro.utils.rng import SeedLike, as_rng
 

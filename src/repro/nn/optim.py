@@ -163,6 +163,70 @@ def fused_sgd_step(
         params -= work
 
 
+def copy_slab_rows(buffers, src, dst) -> None:
+    """Exploit-style in-place row copies across row-aligned buffers.
+
+    ``buffers`` is a sequence of arrays sharing one leading (row) axis — a
+    stacked ``(R, P)`` parameter slab plus any per-row ``(R,)``
+    hyperparameter vectors (the :data:`RowHP` form ``fused_sgd_step``
+    broadcasts per slab row). For each pair ``src[j] -> dst[j]``, row
+    ``dst[j]`` of every buffer is overwritten with row ``src[j]`` — the
+    population tuners' *exploit* move, applied to parameters and
+    hyperparameters in one call so the copied state stays consistent.
+
+    ``src`` and ``dst`` must be disjoint (a row cannot be both survivor
+    and victim in one exploit step) and ``dst`` rows unique.
+    """
+    buffers = list(buffers)
+    src = np.asarray(src, dtype=np.intp)
+    dst = np.asarray(dst, dtype=np.intp)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise ValueError(f"src/dst must be 1-D and equal length, got {src.shape}, {dst.shape}")
+    if np.intersect1d(src, dst).size:
+        raise ValueError("src and dst rows overlap; winners cannot also be overwritten")
+    if len(np.unique(dst)) != dst.size:
+        raise ValueError(f"dst rows must be unique, got {dst.tolist()}")
+    rows = None
+    for buf in buffers:
+        if buf.ndim < 1:
+            raise ValueError("buffers must have at least one (row) dimension")
+        if rows is None:
+            rows = buf.shape[0]
+        elif buf.shape[0] != rows:
+            raise ValueError(
+                f"row-axis mismatch across buffers: {buf.shape[0]} vs {rows}"
+            )
+    for buf in buffers:
+        buf[dst] = buf[src]
+
+
+def perturb_rows(
+    values: np.ndarray,
+    rows,
+    factors,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+) -> None:
+    """In-place multiplicative perturbation of selected rows of a per-row
+    hyperparameter vector, with optional clipping into a valid domain.
+
+    ``values[rows[j]] <- clip(values[rows[j]] * factors[j], low, high)`` —
+    the population tuners' *explore* move over the ``(R,)`` lr / momentum
+    / weight-decay vectors that :func:`fused_sgd_step` and
+    :class:`FlatSGD` broadcast per slab row. Multiplicative factors keep
+    sign-constrained knobs (positive lr, non-negative weight decay) in
+    domain without per-knob special cases.
+    """
+    rows = np.asarray(rows, dtype=np.intp)
+    factors = np.asarray(factors, dtype=np.float64)
+    if factors.shape != rows.shape:
+        raise ValueError(f"factors shape {factors.shape} != rows shape {rows.shape}")
+    perturbed = values[rows] * factors
+    if low is not None or high is not None:
+        np.clip(perturbed, low, high, out=perturbed)
+    values[rows] = perturbed
+
+
 class FlatSGD:
     """:class:`SGD` fused over one flat parameter buffer.
 

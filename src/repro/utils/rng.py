@@ -9,7 +9,7 @@ so adding a new consumer never perturbs the streams of existing ones.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 

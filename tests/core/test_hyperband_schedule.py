@@ -1,10 +1,8 @@
 """Tests for Hyperband's schedule arithmetic and privacy accounting."""
 
-import numpy as np
-import pytest
 
 from repro.core import Hyperband, NoiseConfig, SyntheticRunner, paper_space
-from repro.core.hyperband import bracket_cost, bracket_specs, sha_rungs
+from repro.core.hyperband import bracket_cost, sha_rungs
 
 SPACE = paper_space()
 

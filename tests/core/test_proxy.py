@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import NoiseConfig, OneShotProxySearch, SyntheticRunner, paper_space
+from repro.core import OneShotProxySearch, SyntheticRunner, paper_space
 from repro.core.synthetic import default_quality
 
 SPACE = paper_space()

@@ -1,7 +1,5 @@
 """Property-based tests: budget invariants hold for every tuner shape."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for the figure drivers: record structure plus the paper's
 qualitative shapes (Appendix E.6) at unit-test scale."""
 
-import numpy as np
 import pytest
 
 # Full figure pipelines (bank builds + many bootstrap trials): slow tier.

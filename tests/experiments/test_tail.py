@@ -1,6 +1,5 @@
 """Tests for the tail-performance analysis."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import config_tail_profile, run_tail_analysis

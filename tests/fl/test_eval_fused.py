@@ -21,7 +21,7 @@ from repro.core.search_space import paper_space
 from repro.datasets import load_dataset
 from repro.datasets.base import ClientData, FederatedDataset, TaskSpec, classification_error
 from repro.engine import TrialFusedRunner
-from repro.fl import FederatedTrainer, FusedTrainerPool, StackedEvalEngine
+from repro.fl import FusedTrainerPool
 from repro.fl.evaluation import (
     client_error_rates,
     eval_chunk_plan,

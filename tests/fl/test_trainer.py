@@ -13,7 +13,6 @@ from repro.fl import (
     evaluate_model,
     federated_error,
 )
-from repro.nn.module import set_flat_params
 
 
 @pytest.fixture(scope="module")
@@ -121,6 +120,45 @@ class TestFederatedTrainer:
         rates = trainer.eval_error_rates()
         assert rates.shape == (cifar.num_eval_clients,)
         assert np.all((rates >= 0) & (rates <= 1))
+
+
+class TestSetLocalConfig:
+    """Mid-run hyperparameter swaps (the population tuners' explore move)."""
+
+    def test_future_rounds_use_new_hps(self, cifar):
+        """A trainer whose hps are swapped mid-run must continue exactly
+        like a fresh trainer constructed with the new hps and handed the
+        old trainer's full state — across serial and vectorized paths."""
+        from dataclasses import replace
+
+        for mode in ("serial", "vectorized"):
+            a = make_trainer(cifar, seed=4, cohort_mode=mode)
+            a.run(2)
+            new_local = replace(a.local, lr=0.05, momentum=0.3, weight_decay=1e-4)
+            b = make_trainer(cifar, seed=4, cohort_mode=mode, local=new_local)
+            b.load_state_dict(a.state_dict())
+            a.set_local_config(new_local)
+            a.run(2)
+            b.run(2)
+            assert np.array_equal(a.params, b.params), mode
+            assert a._rng.bit_generator.state == b._rng.bit_generator.state
+
+    def test_serial_client_trainer_rebuilt(self, cifar):
+        from dataclasses import replace
+
+        trainer = make_trainer(cifar, seed=1)
+        trainer.set_local_config(replace(trainer.local, lr=0.01))
+        assert trainer._client_trainer.lr == 0.01
+        assert trainer.local.lr == 0.01
+
+    def test_rejects_structural_changes(self, cifar):
+        from dataclasses import replace
+
+        trainer = make_trainer(cifar, seed=1)
+        with pytest.raises(ValueError, match="batch_size"):
+            trainer.set_local_config(replace(trainer.local, batch_size=64))
+        with pytest.raises(ValueError, match="epochs"):
+            trainer.set_local_config(replace(trainer.local, epochs=2))
 
 
 class TestEvaluationHelpers:

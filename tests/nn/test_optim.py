@@ -3,7 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.nn import SGD, Adam, FlatSGD, Linear, Sequential, fused_sgd_step, softmax_cross_entropy
+from repro.nn import (
+    SGD,
+    Adam,
+    FlatSGD,
+    Linear,
+    Sequential,
+    copy_slab_rows,
+    fused_sgd_step,
+    perturb_rows,
+    softmax_cross_entropy,
+)
 from repro.nn.module import Parameter
 
 
@@ -192,6 +202,43 @@ class TestFlatSGD:
     def test_momentum_requires_velocity(self, rng):
         with pytest.raises(ValueError):
             fused_sgd_step(np.zeros(3), np.zeros(3), lr=0.1, momentum=0.5)
+
+
+class TestSlabRowOps:
+    """Population exploit/explore primitives over (R, P) slabs and (R,)
+    per-row hyperparameter vectors."""
+
+    def test_copy_rows_across_aligned_buffers(self):
+        slab = np.arange(12, dtype=float).reshape(4, 3)
+        lr = np.array([0.1, 0.2, 0.3, 0.4])
+        copy_slab_rows([slab, lr], src=[0, 1], dst=[3, 2])
+        assert np.array_equal(slab[3], [0.0, 1.0, 2.0])
+        assert np.array_equal(slab[2], [3.0, 4.0, 5.0])
+        assert np.array_equal(lr, [0.1, 0.2, 0.2, 0.1])
+        # Winners untouched.
+        assert np.array_equal(slab[0], [0.0, 1.0, 2.0])
+
+    def test_copy_rows_rejects_overlap_and_shape_mismatch(self):
+        slab = np.zeros((4, 3))
+        with pytest.raises(ValueError, match="overlap"):
+            copy_slab_rows([slab], src=[0, 1], dst=[1, 2])
+        with pytest.raises(ValueError, match="unique"):
+            copy_slab_rows([slab], src=[0, 1], dst=[2, 2])
+        with pytest.raises(ValueError, match="equal length"):
+            copy_slab_rows([slab], src=[0], dst=[1, 2])
+        with pytest.raises(ValueError, match="row-axis"):
+            copy_slab_rows([slab, np.zeros(5)], src=[0], dst=[1])
+
+    def test_perturb_rows_multiplicative_with_clip(self):
+        momentum = np.array([0.5, 0.8, 0.1, 0.6])
+        perturb_rows(momentum, [1, 2], np.array([1.25, 0.8]), low=0.0, high=0.9)
+        assert momentum[1] == pytest.approx(0.9)  # 1.0 clipped to the cap
+        assert momentum[2] == pytest.approx(0.08)
+        assert momentum[0] == 0.5 and momentum[3] == 0.6
+
+    def test_perturb_rows_shape_validation(self):
+        with pytest.raises(ValueError, match="factors"):
+            perturb_rows(np.ones(4), [0, 1], np.array([2.0]))
 
 
 class TestTrainingIntegration:

@@ -15,7 +15,6 @@ from repro.nn import (
     Embedding,
     Flatten,
     Linear,
-    MaxPool2D,
     ReLU,
     Sequential,
     Sigmoid,

@@ -1,6 +1,5 @@
 """Cross-package integration tests: live tuners on real federated data."""
 
-import numpy as np
 import pytest
 
 # Live training end-to-end: slow tier (run with -m "slow or not slow").
