@@ -53,6 +53,22 @@ def build_parser() -> argparse.ArgumentParser:
             "cross-trial fused slabs (default: $REPRO_COHORT_VECTOR)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "save each tuning run's state to per-run checkpoints in this "
+            "directory (default: $REPRO_CHECKPOINT_DIR)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume interrupted runs from their checkpoints in --checkpoint-dir "
+            "(bit-identical continuation)"
+        ),
+    )
     return parser
 
 
@@ -74,7 +90,10 @@ def main(argv=None) -> None:
         seed=args.seed,
         n_workers=args.workers,
         cohort_mode=args.cohort_mode,
+        checkpoint_dir=args.checkpoint_dir,
     )
+    if args.resume and not ctx.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir (or $REPRO_CHECKPOINT_DIR)")
     print(f"running {'/'.join(methods)} x (noiseless, noisy) x {args.trials} trials "
           f"on {args.dataset} (budget {ctx.total_budget} rounds)...\n")
     records = run_method_comparison(
@@ -83,6 +102,7 @@ def main(argv=None) -> None:
         methods=methods,
         n_trials=args.trials,
         budget_points=8,
+        resume=args.resume,
     )
     bars = bars_at_budget(records, budget_fraction=1.0)
     print(format_table(

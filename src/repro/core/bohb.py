@@ -80,3 +80,22 @@ class BOHB(Hyperband):
         noisy = super().observe(trial, budget_used=budget_used)
         self._model_for(trial.rounds).tell(trial.config, noisy)
         return noisy
+
+    # -- checkpoint/resume --------------------------------------------------------
+    def _state_extra(self) -> Dict:
+        # Only the per-fidelity observation histories need saving: each
+        # sampler draws from the tuner's own RNG object (seed=self.rng),
+        # whose state the base snapshot already carries.
+        extra = super()._state_extra()
+        extra["models"] = {
+            rounds: [(dict(c), float(s)) for c, s in model._history]
+            for rounds, model in self._models.items()
+        }
+        return extra
+
+    def _load_state_extra(self, extra: Dict, trials: Dict) -> None:
+        super()._load_state_extra(extra, trials)
+        self._models = {}
+        for rounds, history in extra["models"].items():
+            model = self._model_for(int(rounds))
+            model._history = [(dict(c), float(s)) for c, s in history]

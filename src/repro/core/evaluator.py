@@ -165,6 +165,50 @@ class TrialRunner:
         """Full-pool aggregation weights for the noise stack."""
         raise NotImplementedError
 
+    # -- checkpoint/resume -----------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Runner-global mutable state as plain picklable data.
+
+        Trial payloads are *not* captured here: the tuner serializes
+        exactly the trials it still references through
+        :meth:`trial_state`, so retired trials never bloat a checkpoint.
+        """
+        return {"rounds_used": self.rounds_used, "next_id": self._next_id}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self.rounds_used = int(state["rounds_used"])
+        self._next_id = int(state["next_id"])
+
+    def trial_state(self, trial: Trial) -> Dict:
+        """One live trial as plain picklable data (see :meth:`restore_trial`)."""
+        return {
+            "trial_id": trial.trial_id,
+            "config": dict(trial.config),
+            "rounds": trial.rounds,
+            "payload": self._trial_payload(trial),
+        }
+
+    def restore_trial(self, spec: Dict) -> Trial:
+        """Rebuild a live trial from :meth:`trial_state` output."""
+        trial = Trial(
+            trial_id=int(spec["trial_id"]),
+            config=dict(spec["config"]),
+            rounds=int(spec["rounds"]),
+        )
+        self._restore_trial_payload(trial, spec["payload"])
+        return trial
+
+    def _trial_payload(self, trial: Trial):
+        """Hook: serializable form of the runner-private trial payload.
+        Default: the payload itself (bank/synthetic runners keep plain
+        data there); runners with live model state override."""
+        return trial.state
+
+    def _restore_trial_payload(self, trial: Trial, payload) -> None:
+        """Hook: inverse of :meth:`_trial_payload`."""
+        trial.state = payload
+
     # -- runner internals ------------------------------------------------------
     def _init_trial(self, trial: Trial) -> None:
         raise NotImplementedError
@@ -238,6 +282,44 @@ class FederatedTrialRunner(TrialRunner):
             seed=trial_seed,
             cohort_mode=self.cohort_mode,
         )
+
+    # -- checkpoint/resume -----------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Adds the trial-seed RNG stream to the base snapshot, so trials
+        created after a resume draw exactly the seeds they would have in
+        the uninterrupted run. The rates/eval-weights caches are *not*
+        serialized: both are pure memos keyed by ``(trial, rounds)`` /
+        scheme whose entries rebuild bit-identically on first read, so a
+        resumed runner simply starts cold."""
+        state = super().state_dict()
+        state["seed_rng_state"] = self._seed_rng.bit_generator.state
+        return state
+
+    def load_state_dict(self, state: Dict) -> None:
+        super().load_state_dict(state)
+        self._seed_rng.bit_generator.state = state["seed_rng_state"]
+        self._rates_cache.clear()
+
+    def _trial_payload(self, trial: Trial) -> Dict:
+        return trial.state.state_dict()
+
+    def _restore_trial_payload(self, trial: Trial, payload) -> None:
+        # Rebuild the trainer shell from the trial's config — the model is
+        # a pure function of its flat params, so the construction seed is
+        # irrelevant — then restore the exact snapshot: params, server-opt
+        # state, trainer + Dropout RNG streams. The trial-seed stream is
+        # NOT consumed here (that would desync trials created after the
+        # resume); it is restored separately via load_state_dict.
+        trainer = config_to_trainer(
+            trial.config,
+            self.dataset,
+            clients_per_round=self.clients_per_round,
+            scheme=self.scheme,
+            seed=0,
+            cohort_mode=self.cohort_mode,
+        )
+        trainer.load_state_dict(payload)
+        trial.state = trainer
 
     def _advance_trial(self, trial: Trial, rounds: int) -> None:
         trial.state.run(rounds)

@@ -104,3 +104,15 @@ class GPBO(RandomSearch):
         self._xs.append(self.space.to_unit_vector(trial.config))
         self._ys.append(noisy)
         return noisy
+
+    # -- checkpoint/resume --------------------------------------------------------
+    def _state_extra(self) -> Dict:
+        extra = super()._state_extra()
+        extra["gp_xs"] = [np.array(x) for x in self._xs]
+        extra["gp_ys"] = [float(y) for y in self._ys]
+        return extra
+
+    def _load_state_extra(self, extra: Dict, trials: Dict) -> None:
+        super()._load_state_extra(extra, trials)
+        self._xs = [np.array(x) for x in extra["gp_xs"]]
+        self._ys = [float(y) for y in extra["gp_ys"]]

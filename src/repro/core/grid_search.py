@@ -69,6 +69,7 @@ class GridSearch(BaseTuner):
         rounds_per_config = max(1, self.total_budget // n)
         # Grid points are fixed upfront, so the whole sweep is one batch —
         # for training (advance_many) and evaluation (error_rates_many).
-        trials, snapshots = self.create_and_train(self._grid, rounds_per_config)
-        self.observe_many(zip(trials, snapshots))
-        self.retire_trials(trials)
+        # The grid itself needs no checkpoint state: _build_grid shuffles
+        # with the tuner RNG at construction time, before any run state
+        # exists, so an identically-constructed tuner rebuilds it exactly.
+        self._phased_sweep(self._grid, rounds_per_config)

@@ -110,6 +110,11 @@ class Hyperband(BaseTuner):
         self._specs = bracket_specs(runner.max_rounds, eta, n_brackets)
         self._max_rounds = runner.max_rounds
         self._config_source = config_source
+        # Resume cursor: the bracket in flight ({"spec", "trials", "rung"})
+        # and how many brackets have completed (indexes the cycling spec
+        # list).
+        self._bracket: Optional[Dict] = None
+        self._bracket_idx = 0
         super().__init__(space, runner, noise, total_budget, seed)
 
     # -- schedule accounting ----------------------------------------------------
@@ -139,11 +144,21 @@ class Hyperband(BaseTuner):
         return self.space.sample(self.rng)
 
     # -- execution ----------------------------------------------------------------
-    def _run_bracket(self, n_configs: int, r0: int) -> None:
+    def _start_bracket(self, n_configs: int, r0: int) -> None:
         trials = [self.runner.create(self.propose()) for _ in range(n_configs)]
+        self._bracket = {"spec": (n_configs, r0), "trials": trials, "rung": 0}
+        self._checkpoint()
+
+    def _run_bracket(self) -> bool:
+        """Run the active bracket from its rung cursor; returns whether
+        the budget ran out mid-bracket (ends the whole run)."""
+        bracket = self._bracket
+        n_configs, r0 = bracket["spec"]
         rungs = sha_rungs(n_configs, r0, self.eta, self._max_rounds)
-        for rung_idx, (n_active, target_rounds) in enumerate(rungs):
-            active = trials[:n_active]
+        while bracket["rung"] < len(rungs):
+            rung_idx = bracket["rung"]
+            n_active, target_rounds = rungs[rung_idx]
+            active = bracket["trials"][:n_active]
             # A rung's trials are independent: grant their budget serially,
             # train them as one advance_many batch (parallel runners fan it
             # across workers), then evaluate them as one error_rates_many
@@ -157,23 +172,63 @@ class Hyperband(BaseTuner):
                 [(trial, used) for (trial, _), used in zip(planned, snapshots)]
             )
             if truncated:
-                return
+                return True
             # Promote the best ``n // eta`` (by noisy score) to the next rung.
             order = np.argsort(scores, kind="stable")
-            trials = [active[i] for i in order]
+            reordered = [active[i] for i in order]
             # Rung losers are never advanced or read again: release their
-            # cached full-pool rate vectors (the incumbent is protected).
+            # cached full-pool rate vectors (the incumbent is protected)
+            # and drop them from the cursor so checkpoints carry only the
+            # survivors the next rung trains.
             survivors = rungs[rung_idx + 1][0] if rung_idx + 1 < len(rungs) else 0
-            self.retire_trials(trials[survivors:])
+            self.retire_trials(reordered[survivors:])
+            bracket["trials"] = reordered[:survivors]
+            bracket["rung"] = rung_idx + 1
             if self.ledger.exhausted:
-                return
+                return True
+            self._checkpoint()
+        return False
 
     def _run(self) -> None:
-        i = 0
-        while not self.ledger.exhausted:
-            n, r0 = self._specs[i % len(self._specs)]
-            self._run_bracket(n, r0)
-            i += 1
+        while True:
+            if self._bracket is not None:
+                exhausted_mid = self._run_bracket()
+                self._bracket = None
+                self._bracket_idx += 1
+                if exhausted_mid:
+                    return
+                self._checkpoint()
+            if self.ledger.exhausted:
+                return
+            n, r0 = self._specs[self._bracket_idx % len(self._specs)]
+            self._start_bracket(n, r0)
+
+    # -- checkpoint/resume --------------------------------------------------------
+    def _cursor_trials(self):
+        return self._bracket["trials"] if self._bracket is not None else ()
+
+    def _state_extra(self) -> Dict:
+        extra: Dict = {"bracket_idx": self._bracket_idx, "bracket": None}
+        if self._bracket is not None:
+            extra["bracket"] = {
+                "spec": list(self._bracket["spec"]),
+                "rung": self._bracket["rung"],
+                "trial_ids": [t.trial_id for t in self._bracket["trials"]],
+            }
+        return extra
+
+    def _load_state_extra(self, extra: Dict, trials: Dict) -> None:
+        self._bracket_idx = int(extra["bracket_idx"])
+        bracket = extra["bracket"]
+        self._bracket = (
+            {
+                "spec": tuple(bracket["spec"]),
+                "rung": int(bracket["rung"]),
+                "trials": [trials[tid] for tid in bracket["trial_ids"]],
+            }
+            if bracket is not None
+            else None
+        )
 
 
 class SuccessiveHalving(Hyperband):
@@ -203,10 +258,15 @@ class SuccessiveHalving(Hyperband):
         self._specs = [(n_configs, self._sha_r0)]
         self._max_rounds = runner.max_rounds
         self._config_source = config_source
+        self._bracket = None
+        self._bracket_idx = 0
         BaseTuner.__init__(self, space, runner, noise, total_budget, seed)
 
     def planned_releases(self) -> int:
         return sum(n for n, _ in sha_rungs(self._sha_n, self._sha_r0, self.eta, self._max_rounds))
 
     def _run(self) -> None:
-        self._run_bracket(self._sha_n, self._sha_r0)
+        if self._bracket is None:
+            self._start_bracket(self._sha_n, self._sha_r0)
+        self._run_bracket()
+        self._bracket = None

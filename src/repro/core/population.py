@@ -188,10 +188,13 @@ class PopulationTunerBase(BaseTuner):
         raise NotImplementedError
 
     def _run(self) -> None:
-        trials = [self.runner.create(self.propose()) for _ in range(self.population_size)]
-        self._trainer(trials[0])  # fail fast on bank-replay runners
-        self.population = trials
-        self._setup(trials)
+        trials = self.population
+        if not trials:
+            trials = [self.runner.create(self.propose()) for _ in range(self.population_size)]
+            self._trainer(trials[0])  # fail fast on bank-replay runners
+            self.population = trials
+            self._setup(trials)
+            self._checkpoint()
         while not self.ledger.exhausted:
             done = trials[0].rounds
             if done >= self.runner.max_rounds:
@@ -212,6 +215,21 @@ class PopulationTunerBase(BaseTuner):
                 # tuner actually observed, on every termination path.
                 break
             self._adapt(trials, np.asarray(scores, dtype=np.float64))
+            # Safe boundary: a kill inside the next step replays that
+            # whole train/score/adapt generation from here.
+            self._checkpoint()
+
+    # -- checkpoint/resume -----------------------------------------------------
+    def _cursor_trials(self):
+        return self.population
+
+    def _state_extra(self) -> Dict:
+        return {"population_ids": [t.trial_id for t in self.population]}
+
+    def _load_state_extra(self, extra: Dict, trials: Dict[int, Trial]) -> None:
+        self.population = [trials[tid] for tid in extra["population_ids"]]
+        # Scratch slab buffer, reallocated lazily by the next _stack_params.
+        self._param_stack = None
 
 
 class WeightSharingTuner(PopulationTunerBase):
@@ -302,6 +320,18 @@ class WeightSharingTuner(PopulationTunerBase):
         shared = probs @ stack
         for trial in trials:
             self._write_params(trial, shared)
+
+    # -- checkpoint/resume -----------------------------------------------------
+    def _state_extra(self) -> Dict:
+        extra = super()._state_extra()
+        extra["log_weights"] = np.array(self._log_weights)
+        extra["probability_history"] = [np.array(p) for p in self.probability_history]
+        return extra
+
+    def _load_state_extra(self, extra: Dict, trials: Dict[int, Trial]) -> None:
+        super()._load_state_extra(extra, trials)
+        self._log_weights = np.array(extra["log_weights"])
+        self.probability_history = [np.array(p) for p in extra["probability_history"]]
 
 
 class PopulationTuner(PopulationTunerBase):
@@ -459,3 +489,16 @@ class PopulationTuner(PopulationTunerBase):
             )
             for key in self.PERTURB_KEYS:
                 trial.config[key] = float(self._hp_rows[key][l])
+
+    # -- checkpoint/resume -----------------------------------------------------
+    def _state_extra(self) -> Dict:
+        # The evolved per-row hyperparameter vectors; the trainers' local
+        # configs need no separate entry — restore rebuilds each trainer
+        # from its trial config, which _adapt keeps in sync with the rows.
+        extra = super()._state_extra()
+        extra["hp_rows"] = {key: np.array(v) for key, v in self._hp_rows.items()}
+        return extra
+
+    def _load_state_extra(self, extra: Dict, trials: Dict[int, Trial]) -> None:
+        super()._load_state_extra(extra, trials)
+        self._hp_rows = {key: np.array(v) for key, v in extra["hp_rows"].items()}

@@ -49,6 +49,9 @@ class RandomSearch(BaseTuner):
         self.n_configs = n_configs
         super().__init__(space, runner, noise, total_budget, seed)
         self._config_source = config_source
+        # Resume cursor for the sequential loop: configs fully processed
+        # (created, trained, observed, retired) so far.
+        self._seq_index = 0
 
     def planned_releases(self) -> int:
         return self.n_configs
@@ -62,7 +65,12 @@ class RandomSearch(BaseTuner):
     def _run(self) -> None:
         rounds_per_config = max(1, self.total_budget // self.n_configs)
         if self.sequential_proposals:
-            for _ in range(self.n_configs):
+            # Checkpoints land after each completed iteration; a kill
+            # mid-iteration replays it whole from the previous boundary —
+            # trial id, seed draw, training, and noise draws all re-derive
+            # from the restored tuner/runner RNG states, so the replayed
+            # iteration is the one that was interrupted, bit for bit.
+            while self._seq_index < self.n_configs:
                 if self.ledger.exhausted:
                     break
                 trial = self.runner.create(self.propose())
@@ -71,13 +79,20 @@ class RandomSearch(BaseTuner):
                 # Scored exactly once: release the cached rate vector now
                 # (the incumbent's is kept until dethroned).
                 self.retire_trials([trial])
+                self._seq_index += 1
+                self._checkpoint()
             return
         # Phase 1: propose and fund every config that starts within the
         # budget, training them as one batch. Phase 2: evaluate in
         # proposal order (one error_rates_many batch) with the recorded
-        # budget snapshots.
-        trials, snapshots = self.create_and_train(
+        # budget snapshots. _phased_sweep checkpoints between the phases.
+        self._phased_sweep(
             (self.propose() for _ in range(self.n_configs)), rounds_per_config
         )
-        self.observe_many(zip(trials, snapshots))
-        self.retire_trials(trials)
+
+    # -- checkpoint/resume --------------------------------------------------------
+    def _state_extra(self) -> Dict:
+        return {"seq_index": self._seq_index}
+
+    def _load_state_extra(self, extra: Dict, trials: Dict) -> None:
+        self._seq_index = int(extra["seq_index"])

@@ -103,6 +103,9 @@ class TwoStageRandomSearch(RandomSearch):
         if n_finalists < 1:
             raise ValueError(f"n_finalists must be >= 1, got {n_finalists}")
         self.n_finalists = n_finalists
+        # Resume cursor for stage 2: the selected finalists and how many
+        # have been re-evaluated (stage 1 rides the shared _phase cursor).
+        self._stage = None
         super().__init__(
             space,
             runner,
@@ -118,20 +121,61 @@ class TwoStageRandomSearch(RandomSearch):
 
     def _run(self) -> None:
         rounds_per_config = max(1, self.total_budget // self.n_configs)
-        trials, snapshots = self.create_and_train(
-            (self.propose() for _ in range(self.n_configs)), rounds_per_config
-        )
-        screening = self.observe_many(zip(trials, snapshots))
-        if not trials:
-            return
-        # Stage 2: fresh evaluations for the screening top-k. The final
-        # incumbent is decided purely by stage-2 scores. Non-finalists are
-        # done for good — release their cached rate vectors now.
-        order = np.argsort(screening, kind="stable")
-        finalists = [trials[i] for i in order[: self.n_finalists]]
-        self.retire_trials([trials[i] for i in order[self.n_finalists :]])
-        self._incumbent = None
-        self._incumbent_noisy = np.inf
-        for trial in finalists:
-            self.observe(trial)
+        if self._stage is None:
+            if self._phase is None:
+                trials, snapshots = self.create_and_train(
+                    (self.propose() for _ in range(self.n_configs)), rounds_per_config
+                )
+                self._phase = {"trials": trials, "snapshots": snapshots}
+                self._checkpoint()
+            trials = self._phase["trials"]
+            screening = self.observe_many(zip(trials, self._phase["snapshots"]))
+            self._phase = None
+            if not trials:
+                return
+            # Stage 2: fresh evaluations for the screening top-k. The final
+            # incumbent is decided purely by stage-2 scores. Non-finalists
+            # are done for good — release their cached rate vectors now.
+            order = np.argsort(screening, kind="stable")
+            finalists = [trials[i] for i in order[: self.n_finalists]]
+            self.retire_trials([trials[i] for i in order[self.n_finalists :]])
+            self._incumbent = None
+            self._incumbent_noisy = np.inf
+            self._stage = {"finalists": finalists, "next": 0}
+            self._checkpoint()
+        stage = self._stage
+        finalists = stage["finalists"]
+        while stage["next"] < len(finalists):
+            self.observe(finalists[stage["next"]])
+            stage["next"] += 1
+            self._checkpoint()
         self.retire_trials(finalists)
+        self._stage = None
+
+    # -- checkpoint/resume --------------------------------------------------------
+    def _cursor_trials(self):
+        return self._stage["finalists"] if self._stage is not None else ()
+
+    def _state_extra(self):
+        extra = super()._state_extra()
+        extra["stage"] = (
+            {
+                "finalist_ids": [t.trial_id for t in self._stage["finalists"]],
+                "next": self._stage["next"],
+            }
+            if self._stage is not None
+            else None
+        )
+        return extra
+
+    def _load_state_extra(self, extra, trials) -> None:
+        super()._load_state_extra(extra, trials)
+        stage = extra["stage"]
+        self._stage = (
+            {
+                "finalists": [trials[tid] for tid in stage["finalist_ids"]],
+                "next": int(stage["next"]),
+            }
+            if stage is not None
+            else None
+        )

@@ -211,3 +211,15 @@ class TPE(RandomSearch):
         noisy = super().observe(trial, budget_used=budget_used)
         self.sampler.tell(trial.config, noisy)
         return noisy
+
+    # -- checkpoint/resume --------------------------------------------------------
+    def _state_extra(self) -> Dict:
+        # The sampler draws from the tuner's RNG object (seed=self.rng in
+        # __init__), so only its observation history needs saving.
+        extra = super()._state_extra()
+        extra["tpe_history"] = [(dict(c), float(s)) for c, s in self.sampler._history]
+        return extra
+
+    def _load_state_extra(self, extra: Dict, trials: Dict) -> None:
+        super()._load_state_extra(extra, trials)
+        self.sampler._history = [(dict(c), float(s)) for c, s in extra["tpe_history"]]

@@ -10,6 +10,7 @@ to the tuning logic.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -57,6 +58,10 @@ class BaseTuner:
 
     method_name = "base"
 
+    #: Version of the tuner state-dict layout. Bump on incompatible
+    #: changes; load_state_dict rejects mismatched snapshots.
+    STATE_VERSION = 1
+
     def __init__(
         self,
         space: SearchSpace,
@@ -88,6 +93,15 @@ class BaseTuner:
         # Eliminated trials that were the incumbent at retire time: their
         # cached evaluation state is released once they are dethroned.
         self._retire_on_dethrone: Dict[int, Trial] = {}
+        # Checkpoint/resume plumbing: _finished marks a completed _run (a
+        # resumed finished run repackages its result without re-running),
+        # _phase is the shared propose-all -> train-all -> observe-all
+        # sweep cursor (see _phased_sweep), and _checkpointer is the
+        # attached periodic save hook (duck-typed; see
+        # repro.engine.checkpoint.RunCheckpointer).
+        self._finished = False
+        self._phase: Optional[Dict] = None
+        self._checkpointer = None
 
     # -- subclass interface ----------------------------------------------------
     def planned_releases(self) -> int:
@@ -264,9 +278,159 @@ class BaseTuner:
             else:
                 self.runner.retire(trial)
 
-    def run(self) -> TuningResult:
-        """Execute the method and package the result."""
-        self._run()
+    # -- checkpoint/resume ------------------------------------------------------
+    def _cursor_trials(self):
+        """Hook: trials referenced by a subclass's resume cursor (bracket
+        survivors, population members, stage finalists, ...)."""
+        return ()
+
+    def _state_extra(self) -> Dict:
+        """Hook: per-method internals (rung cursors, EG log-weights, TPE
+        observation histories, GP data, ...) as plain picklable data.
+        Trials must be referenced by id; the table itself is shared."""
+        return {}
+
+    def _load_state_extra(self, extra: Dict, trials: Dict[int, Trial]) -> None:
+        """Hook: inverse of :meth:`_state_extra`. ``trials`` is the
+        id-keyed rehydrated trial table — ids resolve to single objects,
+        so trials shared between structures stay shared after a resume."""
+
+    def _live_trials(self) -> Dict[int, Trial]:
+        """Every trial the tuner still references, keyed by id."""
+        live: Dict[int, Trial] = {}
+        candidates = list(self._cursor_trials())
+        if self._phase is not None:
+            candidates.extend(self._phase["trials"])
+        if self._incumbent is not None:
+            candidates.append(self._incumbent)
+        candidates.extend(self._retire_on_dethrone.values())
+        for trial in candidates:
+            live.setdefault(trial.trial_id, trial)
+        return live
+
+    def state_dict(self) -> Dict:
+        """Versioned snapshot of the full run state as picklable data:
+        ledger, observations, curve, incumbent (and its full-error memo),
+        tuner RNG ``bit_generator`` state, the live trial table (with
+        runner payloads — live trainers serialize their params, server-opt
+        state, and RNG streams), the shared phase cursor, and the
+        subclass's :meth:`_state_extra`. The evaluator needs no entry: it
+        shares the tuner's RNG object and is otherwise a pure function of
+        construction arguments."""
+        live = self._live_trials()
+        inc = self._incumbent
+        memo = self._incumbent_full
+        phase = self._phase
+        return {
+            "state_version": self.STATE_VERSION,
+            "method": self.method_name,
+            "finished": self._finished,
+            "ledger": {"total": self.ledger.total, "used": self.ledger.used},
+            "rng_state": self.rng.bit_generator.state,
+            "observations": [asdict(obs) for obs in self.observations],
+            "curve": [asdict(point) for point in self.curve],
+            "incumbent_id": inc.trial_id if inc is not None else None,
+            "incumbent_noisy": float(self._incumbent_noisy),
+            "incumbent_full": list(memo) if memo is not None else None,
+            "retire_on_dethrone": sorted(self._retire_on_dethrone),
+            "phase": (
+                {
+                    "trial_ids": [t.trial_id for t in phase["trials"]],
+                    "snapshots": list(phase["snapshots"]),
+                }
+                if phase is not None
+                else None
+            ),
+            "trials": {tid: self.runner.trial_state(t) for tid, t in sorted(live.items())},
+            "extra": self._state_extra(),
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore a :meth:`state_dict` snapshot into this (identically
+        constructed) tuner. The runner's own state must already be loaded
+        (see :func:`repro.engine.checkpoint.restore_run_state`)."""
+        version = state.get("state_version")
+        if version != self.STATE_VERSION:
+            raise ValueError(
+                f"tuner state version {version!r} does not match this "
+                f"build's version {self.STATE_VERSION}"
+            )
+        method = state.get("method")
+        if method != self.method_name:
+            raise ValueError(
+                f"state is for method {method!r}, not {self.method_name!r}"
+            )
+        if int(state["ledger"]["total"]) != self.ledger.total:
+            raise ValueError(
+                f"state was saved under total budget {state['ledger']['total']}, "
+                f"but this tuner was built with {self.ledger.total}"
+            )
+        trials = {
+            int(tid): self.runner.restore_trial(spec)
+            for tid, spec in state["trials"].items()
+        }
+        self._finished = bool(state["finished"])
+        self.ledger.used = int(state["ledger"]["used"])
+        self.rng.bit_generator.state = state["rng_state"]
+        self.observations = [Observation(**obs) for obs in state["observations"]]
+        self.curve = [CurvePoint(**point) for point in state["curve"]]
+        inc_id = state["incumbent_id"]
+        self._incumbent = trials[inc_id] if inc_id is not None else None
+        self._incumbent_noisy = state["incumbent_noisy"]
+        memo = state["incumbent_full"]
+        self._incumbent_full = tuple(memo) if memo is not None else None
+        self._retire_on_dethrone = {tid: trials[tid] for tid in state["retire_on_dethrone"]}
+        phase = state["phase"]
+        self._phase = (
+            {
+                "trials": [trials[tid] for tid in phase["trial_ids"]],
+                "snapshots": list(phase["snapshots"]),
+            }
+            if phase is not None
+            else None
+        )
+        self._load_state_extra(state["extra"], trials)
+
+    def _checkpoint(self, force: bool = False) -> None:
+        """Persist the run state through the attached checkpointer (no-op
+        without one). _run implementations call this only at safe batch
+        boundaries: points where the serialized state deterministically
+        replays the remainder of the current step, so a kill anywhere
+        resumes onto the identical trajectory."""
+        if self._checkpointer is not None:
+            self._checkpointer.save(self, force=force)
+
+    def _phased_sweep(self, configs, rounds_per_config: int) -> None:
+        """Resumable propose-all -> train-all -> observe-all sweep (the
+        whole-batch RS/grid shape). The cursor checkpoints after the
+        training batch; a kill during observation replays the scoring
+        from that boundary — evaluation consumes only the tuner RNG,
+        whose state the checkpoint restored, so the replay is exact."""
+        if self._phase is None:
+            trials, snapshots = self.create_and_train(configs, rounds_per_config)
+            self._phase = {"trials": trials, "snapshots": snapshots}
+            self._checkpoint()
+        trials = self._phase["trials"]
+        self.observe_many(zip(trials, self._phase["snapshots"]))
+        self.retire_trials(trials)
+        self._phase = None
+
+    def run(self, checkpoint=None) -> TuningResult:
+        """Execute the method and package the result.
+
+        ``checkpoint`` attaches a save hook (duck-typed like
+        :class:`repro.engine.checkpoint.RunCheckpointer`): the run state
+        is persisted up front, at every method-declared safe boundary,
+        and once more on completion. Re-running a tuner restored from a
+        finished checkpoint skips straight to packaging and returns the
+        identical result."""
+        if checkpoint is not None:
+            self._checkpointer = checkpoint
+        if not self._finished:
+            self._checkpoint()
+            self._run()
+            self._finished = True
+            self._checkpoint(force=True)
         best_trial = self._incumbent
         return TuningResult(
             method=self.method_name,

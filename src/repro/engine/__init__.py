@@ -20,6 +20,10 @@ The engine is the execution substrate underneath every online experiment:
 - :mod:`repro.engine.bank_store` — :class:`BankStore`, a disk-backed
   memo of built configuration banks keyed by the full build signature
   ``(dataset, preset, seed, n_configs, max_rounds, format_version, ...)``.
+- :mod:`repro.engine.checkpoint` — atomic on-disk checkpoint/resume for
+  tuning runs: :func:`save_checkpoint`/:func:`resume_checkpoint` and the
+  :class:`RunCheckpointer` periodic save hook serialize tuner + runner +
+  RNG state so a preempted run continues bit-identically.
 
 Every parallel path is bit-equivalent to its serial counterpart (the
 fused path additionally tolerates ~1e-15/round ragged-padding drift,
@@ -31,21 +35,39 @@ from repro.engine.executor import (
     ProcessExecutor,
     SerialExecutor,
     TrialExecutor,
+    WorkerCrashedError,
     default_workers,
     make_executor,
 )
 from repro.engine.bank_store import BANK_FORMAT_VERSION, BankStore
+from repro.engine.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointError,
+    CheckpointVersionError,
+    RunCheckpointer,
+    load_checkpoint,
+    resume_checkpoint,
+    save_checkpoint,
+)
 from repro.engine.runner import ParallelTrialRunner
 from repro.engine.trialfuse import TrialFusedRunner
 
 __all__ = [
     "BANK_FORMAT_VERSION",
     "BankStore",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointVersionError",
     "ParallelTrialRunner",
     "ProcessExecutor",
+    "RunCheckpointer",
     "SerialExecutor",
     "TrialExecutor",
     "TrialFusedRunner",
+    "WorkerCrashedError",
     "default_workers",
+    "load_checkpoint",
     "make_executor",
+    "resume_checkpoint",
+    "save_checkpoint",
 ]

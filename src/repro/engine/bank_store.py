@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.bank import ConfigBank
@@ -48,7 +49,8 @@ class BankStore:
 
     Writes are atomic (temp file + ``os.replace``), so a crashed or
     concurrent build can never leave a truncated bank behind; unreadable
-    cache entries are treated as misses.
+    cache entries are quarantined as ``.corrupt`` files and treated as
+    misses.
     """
 
     def __init__(self, cache_dir: str):
@@ -98,15 +100,30 @@ class BankStore:
 
     # -- cache operations -------------------------------------------------------
     def get(self, fields: Dict) -> Optional[ConfigBank]:
-        """The cached bank for this key, or ``None`` on a miss."""
+        """The cached bank for this key, or ``None`` on a miss.
+
+        A *missing* file is a silent miss. A file that exists but fails to
+        load is quarantined — renamed to ``<path>.corrupt`` with a warning
+        naming it — so the evidence survives for diagnosis instead of
+        being silently overwritten by the rebuild's :meth:`put`.
+        """
         path = self.path_for(fields)
         if not os.path.exists(path):
             return None
         try:
             return ConfigBank.load(path)
-        except Exception:
-            # Corrupt/foreign file: a miss, not an error. The atomic put()
-            # below will replace it with a good copy.
+        except Exception as exc:
+            quarantine = path + ".corrupt"
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                quarantine = path
+            warnings.warn(
+                f"corrupt bank cache entry {path}: {exc!r}; "
+                f"quarantined as {quarantine}, treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def put(self, fields: Dict, bank: ConfigBank) -> str:

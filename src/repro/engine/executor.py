@@ -15,6 +15,12 @@ Design constraints, in order of importance:
 3. **Graceful degradation.** On platforms without ``fork``, with a single
    worker, with a single task, or when already inside a worker process,
    ``map`` silently runs serially — same results, no surprises.
+4. **Crash diagnosis.** A worker dying mid-task (OOM kill, segfault)
+   raises an opaque ``BrokenProcessPool`` from stdlib pools. ``map``
+   instead re-runs the affected tasks serially in the parent — a
+   one-shot retry that converts transient kills into a completed, still
+   bit-identical map — and only then raises :class:`WorkerCrashedError`
+   naming the task that brought the pool down.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor as _PoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
 # Fork-inherited slot: (fn, payload) for the map() currently in flight.
@@ -37,6 +44,22 @@ _IN_WORKER = False
 def _mark_worker() -> None:
     global _IN_WORKER
     _IN_WORKER = True
+
+
+class WorkerCrashedError(RuntimeError):
+    """A pool worker died mid-task (killed, segfaulted, OOM-reaped) and
+    the serial in-parent retry of that task failed too.
+
+    Carries the offending task so callers can log *which* trial/config
+    brought the worker down instead of an anonymous BrokenProcessPool.
+    """
+
+    def __init__(self, task: Any, detail: str = ""):
+        self.task = task
+        message = f"worker process died while running task {task!r}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
 
 
 def _invoke(task: Any) -> Any:
@@ -109,11 +132,30 @@ class ProcessExecutor(TrialExecutor):
         try:
             ctx = multiprocessing.get_context("fork")
             workers = min(self.n_workers, len(tasks))
-            chunksize = max(1, len(tasks) // (workers * 4))
+            results: List[Any] = [None] * len(tasks)
+            crashed: List[int] = []
             with _PoolExecutor(
                 max_workers=workers, mp_context=ctx, initializer=_mark_worker
             ) as pool:
-                return list(pool.map(_invoke, tasks, chunksize=chunksize))
+                futures = [pool.submit(_invoke, task) for task in tasks]
+                for i, future in enumerate(futures):
+                    try:
+                        results[i] = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(i)
+            # One serial in-parent retry per crashed task. A dying worker
+            # breaks every task queued behind it, so most entries here are
+            # innocent bystanders; fn is deterministic, so retried results
+            # are exactly what the workers would have produced. A task
+            # whose retry *also* fails is the actual culprit — name it.
+            for i in crashed:
+                try:
+                    results[i] = fn(payload, tasks[i])
+                except Exception as exc:
+                    raise WorkerCrashedError(
+                        tasks[i], detail=f"serial retry failed: {exc}"
+                    ) from exc
+            return results
         finally:
             _PAYLOAD = None
 

@@ -12,6 +12,7 @@ Records can optionally be written to JSON with ``--out``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List
 
@@ -143,6 +144,23 @@ def build_parser() -> argparse.ArgumentParser:
             "else serial)"
         ),
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help=(
+            "directory for per-run tuning checkpoints on the method-comparison "
+            f"artifacts ({', '.join(METHOD_COMPARISON_ARTIFACTS)}); runs save "
+            "their state here periodically (default: $REPRO_CHECKPOINT_DIR)"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume interrupted runs from their checkpoints in --checkpoint-dir "
+            "(bit-identical continuation; runs without a checkpoint start fresh)"
+        ),
+    )
     return parser
 
 
@@ -155,21 +173,39 @@ def main(argv: List[str] = None) -> int:
         print("error: --artifact (or --list) is required", file=sys.stderr)
         return 2
     runner, columns = _ARTIFACTS[args.artifact]
-    if args.methods is not None:
+    if args.artifact not in METHOD_COMPARISON_ARTIFACTS:
+        for flag, given in (
+            ("--methods", args.methods is not None),
+            ("--checkpoint-dir", args.checkpoint_dir is not None),
+            ("--resume", args.resume),
+        ):
+            if given:
+                print(
+                    f"error: {flag} only applies to "
+                    f"{', '.join(METHOD_COMPARISON_ARTIFACTS)}",
+                    file=sys.stderr,
+                )
+                return 2
+    if args.resume and not (
+        args.checkpoint_dir or os.environ.get("REPRO_CHECKPOINT_DIR")
+    ):
+        print(
+            "error: --resume requires --checkpoint-dir (or $REPRO_CHECKPOINT_DIR)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.methods is not None or args.resume:
         try:
-            methods = parse_methods(args.methods)
+            methods = (
+                parse_methods(args.methods)
+                if args.methods is not None
+                else ("rs", "tpe", "hb", "bohb")
+            )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        if args.artifact not in METHOD_COMPARISON_ARTIFACTS:
-            print(
-                f"error: --methods only applies to "
-                f"{', '.join(METHOD_COMPARISON_ARTIFACTS)}",
-                file=sys.stderr,
-            )
-            return 2
         runner = lambda ctx, n: run_method_comparison(  # noqa: E731
-            ctx, methods=methods, n_trials=max(1, n // 10)
+            ctx, methods=methods, n_trials=max(1, n // 10), resume=args.resume
         )
     ctx = ExperimentContext(
         preset=args.preset,
@@ -178,6 +214,7 @@ def main(argv: List[str] = None) -> int:
         cache_dir=args.cache_dir,
         n_workers=args.workers,
         cohort_mode=args.cohort_mode,
+        checkpoint_dir=args.checkpoint_dir,
     )
     records = runner(ctx, args.trials)
     print(format_table(records, columns, title=f"{args.artifact} ({args.preset} preset)"))

@@ -21,8 +21,10 @@ from repro.utils.rng import RngFactory
 # REPRO_BANK_CACHE — directory for the disk-backed bank store.
 # REPRO_WORKERS — worker-process count for parallel bank builds.
 # REPRO_COHORT_VECTOR — vectorized lockstep cohort training (repro.fl.cohort).
+# REPRO_CHECKPOINT_DIR — directory for tuning-run checkpoints (repro.engine.checkpoint).
 CACHE_ENV_VAR = "REPRO_BANK_CACHE"
 WORKERS_ENV_VAR = "REPRO_WORKERS"
+CHECKPOINT_ENV_VAR = "REPRO_CHECKPOINT_DIR"
 
 # Client batch-size choices scale with per-client dataset size so the
 # batch-size HP stays meaningful at every preset.
@@ -66,6 +68,11 @@ class ExperimentContext:
         (:mod:`repro.fl.fused`). Non-serial modes join the bank-store
         cache key, since lockstep padding can perturb results at float
         tolerance.
+    checkpoint_dir : directory for tuning-run checkpoints
+        (:mod:`repro.engine.checkpoint`); online drivers save each run's
+        state here and — with ``resume`` enabled — pick interrupted runs
+        back up bit-identically. Defaults to ``$REPRO_CHECKPOINT_DIR``
+        (no checkpointing when unset).
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class ExperimentContext:
         cache_dir: Optional[str] = None,
         n_workers: Optional[int] = None,
         cohort_mode: Optional[str] = None,
+        checkpoint_dir: Optional[str] = None,
     ):
         from repro.engine.bank_store import BankStore
         from repro.engine.executor import SerialExecutor, make_executor
@@ -99,6 +107,9 @@ class ExperimentContext:
         if cache_dir is None:
             cache_dir = os.environ.get(CACHE_ENV_VAR) or None
         self.bank_store = BankStore(cache_dir) if cache_dir else None
+        if checkpoint_dir is None:
+            checkpoint_dir = os.environ.get(CHECKPOINT_ENV_VAR) or None
+        self.checkpoint_dir = checkpoint_dir
         if n_workers is None and not os.environ.get(WORKERS_ENV_VAR):
             self.executor = SerialExecutor()
         else:

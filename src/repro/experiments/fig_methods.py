@@ -13,6 +13,8 @@ plus the noise-immune one-shot proxy RS bar.
 
 from __future__ import annotations
 
+import hashlib
+import os
 from typing import Dict, List, Optional, Sequence, Type
 
 import numpy as np
@@ -67,6 +69,19 @@ PAPER_NOISY = NoiseConfig(subsample=0.01, epsilon=100.0, scheme="uniform")
 PAPER_NOISELESS = NoiseConfig()
 
 
+def run_seed(root_seed: int, *parts) -> int:
+    """Deterministic per-run seed from the root seed and run coordinates.
+
+    Built on sha256, NOT Python's builtin ``hash`` — that one is salted
+    per process (PYTHONHASHSEED), which silently made every sweep
+    unrepeatable across invocations and would break checkpoint resume
+    (a resumed sweep must hand fresh runs the same seeds the killed
+    sweep would have used).
+    """
+    key = "/".join(str(p) for p in (root_seed, *parts))
+    return int.from_bytes(hashlib.sha256(key.encode()).digest()[:4], "big") % (2**31)
+
+
 def parse_methods(raw: str) -> tuple:
     """Split a comma-separated ``--methods`` value and validate it against
     the :data:`METHODS` registry (the one copy of this logic, shared by
@@ -89,8 +104,15 @@ def make_tuner(
     seed: int,
     k: int = 16,
     total_budget: Optional[int] = None,
+    resume: Optional[str] = None,
 ) -> BaseTuner:
-    """Build one tuner wired to a live federated runner."""
+    """Build one tuner wired to a live federated runner.
+
+    ``resume`` names a checkpoint file (see
+    :mod:`repro.engine.checkpoint`): when it exists, the tuner is restored
+    from it and continues the interrupted run bit-identically; when it
+    does not exist yet — the normal first launch — the run starts fresh.
+    """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(METHODS)}")
     runner = FederatedTrialRunner(
@@ -108,12 +130,20 @@ def make_tuner(
     budget = total_budget if total_budget is not None else ctx.total_budget
     cls = METHODS[method]
     if method in ("rs", "tpe", "gp-ei", "gp-nei"):
-        return cls(ctx.space, runner, noise, n_configs=k, total_budget=budget, seed=seed)
-    if method in ("fedex", "fedpop"):
-        return cls(
+        tuner = cls(ctx.space, runner, noise, n_configs=k, total_budget=budget, seed=seed)
+    elif method in ("fedex", "fedpop"):
+        tuner = cls(
             ctx.space, runner, noise, population_size=k, total_budget=budget, seed=seed
         )
-    return cls(ctx.space, runner, noise, total_budget=budget, seed=seed)
+    else:
+        tuner = cls(ctx.space, runner, noise, total_budget=budget, seed=seed)
+    if resume is not None and os.path.exists(resume):
+        # Lazy import: repro.engine pulls in the bank layer, which imports
+        # this package (same cycle ExperimentContext breaks the same way).
+        from repro.engine.checkpoint import resume_checkpoint
+
+        resume_checkpoint(tuner, resume)
+    return tuner
 
 
 def run_method_comparison(
@@ -124,20 +154,46 @@ def run_method_comparison(
     noisy: NoiseConfig = PAPER_NOISY,
     noiseless: NoiseConfig = PAPER_NOISELESS,
     budget_points: int = 16,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> List[Record]:
     """Run every (dataset, method, setting, trial) combination live.
 
     Returns trial-level records with the incumbent full-error curve sampled
     at ``budget_points`` evenly spaced budgets (multiples of max-rounds).
+
+    With a ``checkpoint_dir`` (defaulting to ``ctx.checkpoint_dir``), each
+    run periodically saves its state to a per-run checkpoint file there;
+    ``resume=True`` additionally restores any run whose checkpoint already
+    exists, so a preempted sweep re-launched with the same arguments
+    replays finished runs from their final snapshots and continues
+    interrupted ones bit-identically.
     """
     records: List[Record] = []
     budgets = [(i + 1) * ctx.total_budget // budget_points for i in range(budget_points)]
+    if checkpoint_dir is None:
+        checkpoint_dir = ctx.checkpoint_dir
     for name in dataset_names:
         for setting, noise in (("noiseless", noiseless), ("noisy", noisy)):
             for method in methods:
                 for trial in range(n_trials):
-                    seed = hash((ctx.seed, name, setting, method, trial)) % (2**31)
-                    result = make_tuner(method, ctx, name, noise, seed).run()
+                    seed = run_seed(ctx.seed, name, setting, method, trial)
+                    checkpoint = None
+                    resume_path = None
+                    if checkpoint_dir:
+                        from repro.engine.checkpoint import RunCheckpointer
+
+                        path = os.path.join(
+                            checkpoint_dir,
+                            f"fig8-{name}-{setting}-{method}-t{trial}.ckpt",
+                        )
+                        checkpoint = RunCheckpointer(path)
+                        if resume:
+                            resume_path = path
+                    tuner = make_tuner(
+                        method, ctx, name, noise, seed, resume=resume_path
+                    )
+                    result = tuner.run(checkpoint=checkpoint)
                     curve = [result.full_error_at_budget(b) for b in budgets]
                     records.append(
                         Record(

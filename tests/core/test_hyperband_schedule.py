@@ -23,7 +23,8 @@ class TestBracketCost:
         runner = SyntheticRunner(max_rounds=27, seed=0)
         hb = Hyperband(SPACE, runner, NoiseConfig(), n_brackets=1, total_budget=10**6, seed=0)
         n, r0 = hb._specs[0]
-        hb._run_bracket(n, r0)
+        hb._start_bracket(n, r0)
+        hb._run_bracket()
         assert runner.rounds_used == bracket_cost(n, r0, 3, 27)
 
 

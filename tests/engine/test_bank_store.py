@@ -62,12 +62,41 @@ class TestRoundTrip:
         assert len(store) == 1
         assert np.array_equal(store.get(FIELDS).errors, make_bank(seed=2).errors)
 
-    def test_corrupt_file_is_a_miss(self, tmp_path):
+    def test_corrupt_file_is_a_quarantined_miss(self, tmp_path):
+        """A file that exists but can't load is a miss AND gets renamed to
+        <path>.corrupt with a warning naming it — evidence survives for
+        diagnosis instead of being overwritten by the rebuild."""
+        import os
+        import warnings
+
         store = BankStore(tmp_path)
         path = store.path_for(FIELDS)
         with open(path, "wb") as f:
             f.write(b"not an npz file")
-        assert store.get(FIELDS) is None
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.get(FIELDS) is None
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+        assert path in str(caught[0].message)
+        assert not os.path.exists(path)
+        with open(path + ".corrupt", "rb") as f:
+            assert f.read() == b"not an npz file"
+        # The quarantined file is invisible to cache bookkeeping, and the
+        # rebuild path is now free for a clean put().
+        assert len(store) == 0
+        store.put(FIELDS, make_bank())
+        assert store.get(FIELDS) is not None
+
+    def test_missing_file_is_a_silent_miss(self, tmp_path):
+        """Only *corrupt* entries warn; a plain miss stays silent."""
+        import warnings
+
+        store = BankStore(tmp_path)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert store.get(FIELDS) is None
+        assert caught == []
 
 
 class TestKeyContract:

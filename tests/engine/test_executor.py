@@ -1,6 +1,7 @@
 """Tests for the process-pool execution primitive."""
 
 import os
+import signal
 
 import numpy as np
 import pytest
@@ -9,6 +10,7 @@ from repro.engine.executor import (
     ProcessExecutor,
     SerialExecutor,
     TrialExecutor,
+    WorkerCrashedError,
     default_workers,
     fork_available,
     make_executor,
@@ -25,6 +27,28 @@ def _with_payload(payload, task):
 
 def _pid(payload, task):
     return os.getpid()
+
+
+def _kill_worker_on_task(payload, task):
+    """SIGKILL the current process when it is a pool *worker* and the task
+    is the designated crasher; the parent's serial retry then succeeds."""
+    from repro.engine import executor
+
+    if executor._IN_WORKER and task == payload["crash_task"]:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return task * task
+
+
+def _always_crash(payload, task):
+    """Deterministic crasher: fails in workers AND in the serial retry
+    (with an exception in the parent, so the test process survives)."""
+    from repro.engine import executor
+
+    if task == payload["crash_task"]:
+        if executor._IN_WORKER:
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise RuntimeError("boom")
+    return task * task
 
 
 class TestSerialExecutor:
@@ -73,6 +97,36 @@ class TestProcessExecutor:
     def test_rejects_bad_worker_count(self):
         with pytest.raises(ValueError):
             ProcessExecutor(0)
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+class TestWorkerCrash:
+    """A worker dying mid-task (OOM-reaped, segfault, kill -9) must not
+    surface as an anonymous BrokenProcessPool: the affected tasks get one
+    serial in-parent retry, and only a task that fails again raises a
+    WorkerCrashedError naming it."""
+
+    def test_sigkilled_worker_recovers_via_serial_retry(self):
+        tasks = list(range(8))
+        out = ProcessExecutor(2).map(
+            _kill_worker_on_task, tasks, payload={"crash_task": 3}
+        )
+        assert out == [t * t for t in tasks]
+
+    def test_unrecoverable_task_raises_naming_it(self):
+        with pytest.raises(WorkerCrashedError) as excinfo:
+            ProcessExecutor(2).map(
+                _always_crash, list(range(8)), payload={"crash_task": 5}
+            )
+        assert excinfo.value.task == 5
+        assert "5" in str(excinfo.value)
+        assert "boom" in str(excinfo.value)
+
+    def test_error_names_task(self):
+        err = WorkerCrashedError(("trial", 7), detail="oom")
+        assert err.task == ("trial", 7)
+        assert "('trial', 7)" in str(err)
+        assert "oom" in str(err)
 
 
 def _payload_arr_sum(payload, task):
