@@ -9,6 +9,7 @@ precomputed configuration bank (:class:`repro.experiments.bank.BankTrialRunner`
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -55,12 +56,20 @@ def config_to_trainer(
 
 @dataclass
 class Trial:
-    """Handle to one configuration under training."""
+    """Handle to one configuration under training.
+
+    ``failures`` counts advance attempts that raised; at the runner's
+    ``max_trial_failures`` the trial is ``failed`` — quarantined: it burns
+    any budget still granted to it with frozen training state and reads
+    error 1.0 (the diverged-model convention), but never aborts the run.
+    """
 
     trial_id: int
     config: Dict
     rounds: int = 0
     state: Optional[object] = None  # runner-private payload
+    failed: bool = False
+    failures: int = 0
 
 
 class TrialRunner:
@@ -71,12 +80,62 @@ class TrialRunner:
     — the budget axis of every online figure.
     """
 
+    #: Failure count at which a trial is quarantined (overridden by an
+    #: attached fault plan's ``max_trial_failures``).
+    max_trial_failures: int = 2
+
     def __init__(self, max_rounds: int):
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
         self.max_rounds = max_rounds
         self.rounds_used = 0
         self._next_id = 0
+        self.faults = None
+
+    # -- fault injection -------------------------------------------------------
+    def set_fault_plan(self, plan) -> None:
+        """Attach a :class:`repro.engine.faults.FaultPlan`. The base runner
+        uses it only for injected trial failures; subclasses wire it
+        deeper (trainers, executors). ``None`` detaches."""
+        self.faults = plan
+        if plan is not None:
+            self.max_trial_failures = plan.config.max_trial_failures
+
+    def _check_injected_fault(self, trial: Trial) -> None:
+        """Raise the deterministic injected crash for this advance, if the
+        attached plan schedules one (keyed by the trial id and its round
+        count at entry — order/worker/resume-independent)."""
+        plan = self.faults
+        if plan is not None and plan.trial_fails(trial.trial_id, trial.rounds):
+            from repro.engine.faults import InjectedTrialFault
+
+            raise InjectedTrialFault(trial.trial_id, trial.rounds)
+
+    def _record_trial_failure(self, trial: Trial, exc: BaseException) -> None:
+        """Count one failed advance; quarantine at the failure cap.
+
+        A failed advance trains nothing but still burns its granted
+        budget (the caller advances ``trial.rounds`` regardless), so the
+        tuner's budget arithmetic — and every budget-axis coordinate in
+        the figures — is identical to a fault-free run's.
+        """
+        trial.failures += 1
+        if trial.failures >= self.max_trial_failures:
+            trial.failed = True
+            warnings.warn(
+                f"trial {trial.trial_id} failed {trial.failures} time(s), "
+                f"last: {exc!r}; quarantined (error 1.0, training frozen)",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        else:
+            warnings.warn(
+                f"trial {trial.trial_id} advance failed ({exc!r}); "
+                f"{self.max_trial_failures - trial.failures} more failure(s) "
+                "until quarantine",
+                RuntimeWarning,
+                stacklevel=4,
+            )
 
     # -- lifecycle -----------------------------------------------------------
     def create(self, config: Dict) -> Trial:
@@ -87,12 +146,24 @@ class TrialRunner:
 
     def advance(self, trial: Trial, rounds: int) -> int:
         """Train ``trial`` for up to ``rounds`` more rounds (capped at
-        ``max_rounds`` total). Returns rounds actually consumed."""
+        ``max_rounds`` total). Returns rounds actually consumed.
+
+        An advance that raises does not propagate: the failure is counted
+        (quarantining the trial at the cap) and the granted rounds are
+        consumed with training state untouched, so the tuner continues.
+        """
         if rounds < 0:
             raise ValueError(f"rounds must be >= 0, got {rounds}")
         allowed = min(rounds, self.max_rounds - trial.rounds)
         if allowed > 0:
-            self._advance_trial(trial, allowed)
+            if not trial.failed:
+                try:
+                    self._check_injected_fault(trial)
+                    self._advance_trial(trial, allowed)
+                except NotImplementedError:
+                    raise
+                except Exception as exc:
+                    self._record_trial_failure(trial, exc)
             trial.rounds += allowed
             self.rounds_used += allowed
         return allowed
@@ -186,6 +257,8 @@ class TrialRunner:
             "trial_id": trial.trial_id,
             "config": dict(trial.config),
             "rounds": trial.rounds,
+            "failed": trial.failed,
+            "failures": trial.failures,
             "payload": self._trial_payload(trial),
         }
 
@@ -195,6 +268,8 @@ class TrialRunner:
             trial_id=int(spec["trial_id"]),
             config=dict(spec["config"]),
             rounds=int(spec["rounds"]),
+            failed=bool(spec.get("failed", False)),
+            failures=int(spec.get("failures", 0)),
         )
         self._restore_trial_payload(trial, spec["payload"])
         return trial
@@ -217,11 +292,21 @@ class TrialRunner:
         raise NotImplementedError
 
 
+#: Marker key of the error dict a worker ships back instead of a trainer
+#: state when the trial's training raised (exceptions are contained at the
+#: task level so one bad trial never takes down the whole map call).
+_TRIAL_FAILURE_KEY = "__trial_failure__"
+
+
 def _advance_trainer_task(payload, index: int) -> dict:
     """Worker task for parallel ``advance_many``: run the (fork-inherited)
-    trainer for its allotted rounds and ship back only its compact state."""
+    trainer for its allotted rounds and ship back only its compact state
+    (or a failure marker when training raised)."""
     trainer, rounds = payload[index]
-    trainer.run(rounds)
+    try:
+        trainer.run(rounds)
+    except Exception as exc:
+        return {_TRIAL_FAILURE_KEY: repr(exc)}
     return trainer.state_dict()
 
 
@@ -271,6 +356,15 @@ class FederatedTrialRunner(TrialRunner):
         self._seed_rng = as_rng(seed)
         self._rates_cache: Dict[int, tuple] = {}
         self._eval_weights_cache: Dict[str, np.ndarray] = {}
+        self._quarantined_rates_memo: Optional[np.ndarray] = None
+
+    def set_fault_plan(self, plan) -> None:
+        """Attach the plan runner-wide: injected trial crashes here,
+        dropout/stragglers in every (current and future) trainer, worker
+        kills in the executor."""
+        super().set_fault_plan(plan)
+        if self.executor is not None and hasattr(self.executor, "faults"):
+            self.executor.faults = plan
 
     def _init_trial(self, trial: Trial) -> None:
         trial_seed = int(self._seed_rng.integers(0, 2**63 - 1))
@@ -282,6 +376,10 @@ class FederatedTrialRunner(TrialRunner):
             seed=trial_seed,
             cohort_mode=self.cohort_mode,
         )
+        if self.faults is not None:
+            # The trial id keys the trainer's fault draws, so each trial's
+            # dropout/straggler stream is independent of batch order.
+            trial.state.set_fault_plan(self.faults, trial.trial_id)
 
     # -- checkpoint/resume -----------------------------------------------------
     def state_dict(self) -> Dict:
@@ -318,6 +416,10 @@ class FederatedTrialRunner(TrialRunner):
             seed=0,
             cohort_mode=self.cohort_mode,
         )
+        if self.faults is not None:
+            # Reattach before load_state_dict so restored participation
+            # counters land in the plan-aware trainer.
+            trainer.set_fault_plan(self.faults, trial.trial_id)
         trainer.load_state_dict(payload)
         trial.state = trainer
 
@@ -343,25 +445,65 @@ class FederatedTrialRunner(TrialRunner):
         # The per-trial cap is pure arithmetic, so the whole batch can be
         # planned up front and only the training itself farmed out.
         planned = [(trial, min(rounds, self.max_rounds - trial.rounds)) for trial, rounds in requests]
-        work = [(trial, allowed) for trial, allowed in planned if allowed > 0]
+        # Quarantined trials burn their grant without training; trials whose
+        # injected crash fires this advance fail before dispatch (keyed by
+        # the entry round count, exactly as the serial path draws it).
+        work = []
+        for trial, allowed in planned:
+            if allowed <= 0 or trial.failed:
+                continue
+            try:
+                self._check_injected_fault(trial)
+            except Exception as exc:
+                self._record_trial_failure(trial, exc)
+                continue
+            work.append((trial, allowed))
         if pooled and len(work) > 1:
             # Process-level parallelism wins over in-process fusion: each
             # worker's trainer still runs its own lockstep cohort.
             payload = [(trial.state, allowed) for trial, allowed in work]
             states = executor.map(_advance_trainer_task, range(len(work)), payload=payload)
             for (trial, _), state in zip(work, states):
-                trial.state.load_state_dict(state)
+                if _TRIAL_FAILURE_KEY in state:
+                    self._record_trial_failure(
+                        trial, RuntimeError(state[_TRIAL_FAILURE_KEY])
+                    )
+                else:
+                    trial.state.load_state_dict(state)
         elif self.cohort_mode == "fused" and len(work) > 1:
             if self._fused_pool is None:
                 from repro.fl.fused import FusedTrainerPool
 
                 self._fused_pool = FusedTrainerPool()
-            self._fused_pool.advance(
-                [trial.state for trial, _ in work], [allowed for _, allowed in work]
-            )
+            before = [trial.state.rounds_completed for trial, _ in work]
+            try:
+                self._fused_pool.advance(
+                    [trial.state for trial, _ in work], [allowed for _, allowed in work]
+                )
+            except Exception as exc:
+                # Last degradation step below the pool's own fused→serial
+                # fallbacks: finish each trial's remaining rounds on its
+                # own, quarantining only the trial that actually fails.
+                warnings.warn(
+                    f"fused batch advance failed ({exc!r}); finishing the "
+                    "batch with per-trial rounds",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                for (trial, allowed), done in zip(work, before):
+                    remaining = allowed - (trial.state.rounds_completed - done)
+                    if remaining <= 0:
+                        continue
+                    try:
+                        trial.state.run(remaining)
+                    except Exception as trial_exc:
+                        self._record_trial_failure(trial, trial_exc)
         else:
             for trial, allowed in work:
-                trial.state.run(allowed)
+                try:
+                    trial.state.run(allowed)
+                except Exception as exc:
+                    self._record_trial_failure(trial, exc)
         for trial, allowed in planned:
             trial.rounds += allowed
             self.rounds_used += allowed
@@ -376,7 +518,18 @@ class FederatedTrialRunner(TrialRunner):
         self._rates_cache[trial.trial_id] = (trial.rounds, rates)
         return rates
 
+    def _quarantined_rates(self) -> np.ndarray:
+        """The all-wrong rate vector quarantined trials read (error 1.0
+        under any weighting — the diverged-model convention)."""
+        if self._quarantined_rates_memo is None:
+            rates = np.ones(len(self.dataset.eval_clients), dtype=np.float64)
+            rates.setflags(write=False)
+            self._quarantined_rates_memo = rates
+        return self._quarantined_rates_memo
+
     def error_rates(self, trial: Trial) -> np.ndarray:
+        if trial.failed:
+            return self._quarantined_rates()
         cached = self._rates_cache.get(trial.trial_id)
         if cached is not None and cached[0] == trial.rounds:
             return cached[1]
@@ -399,6 +552,9 @@ class FederatedTrialRunner(TrialRunner):
         pending: List[Trial] = []
         for trial in trials:
             if trial.trial_id in results or any(t.trial_id == trial.trial_id for t in pending):
+                continue
+            if trial.failed:
+                results[trial.trial_id] = self._quarantined_rates()
                 continue
             cached = self._rates_cache.get(trial.trial_id)
             if cached is not None and cached[0] == trial.rounds:

@@ -118,10 +118,71 @@ class NoisyEvaluator:
         self.privacy = privacy
         self._uniform = UniformSampler(self.weights.size)
         self._biased = BiasedSampler(noise.bias_b) if noise.bias_b > 0 else None
+        # Fault injection (repro.engine.faults): evaluation dropout makes
+        # the realized cohort differ from the drawn one. _release_index
+        # keys each release's deterministic drop draws and is serialized
+        # (state_dict), so a resumed run replays the identical fault
+        # sequence. No plan (or zero eval rates) leaves every path below
+        # byte-identical to the fault-free evaluator.
+        self.faults = None
+        self.participation = None
+        self._release_index = 0
 
     @property
     def n_clients(self) -> int:
         return self.weights.size
+
+    # -- fault injection -----------------------------------------------------
+    def set_fault_plan(self, plan) -> None:
+        """Attach a :class:`repro.engine.faults.FaultPlan` whose
+        ``eval_dropout_rate`` drops sampled evaluation clients per release.
+        A release whose survivors miss the plan's quorum falls back to the
+        full drawn cohort (the server waited everyone out)."""
+        self.faults = plan
+        if plan is not None and plan.injects_eval_faults and self.participation is None:
+            from repro.engine.faults import ParticipationLog
+
+            self.participation = ParticipationLog(self.n_clients)
+
+    def _injects_eval_faults(self) -> bool:
+        return self.faults is not None and self.faults.injects_eval_faults
+
+    def _apply_eval_faults(self, cohort: np.ndarray) -> np.ndarray:
+        """Realized reporters of one release (drawn cohort minus injected
+        dropouts). Consumes no RNG — the drop draws are sha-keyed by the
+        release index — so attaching a plan never shifts the sampling or
+        DP streams."""
+        if not self._injects_eval_faults():
+            return cohort
+        plan = self.faults
+        index = self._release_index
+        self._release_index += 1
+        mask = plan.eval_dropout_mask("eval", index, cohort)
+        survivors = cohort[~mask]
+        lost = survivors.size < plan.min_reporters(cohort.size)
+        if self.participation is not None:
+            self.participation.record_round(
+                cohort, dropped=cohort[mask], lost=lost
+            )
+        return cohort if lost else survivors
+
+    def state_dict(self) -> dict:
+        """Fault-relevant mutable state (empty-dict-compatible when no
+        faults were ever injected)."""
+        state = {"release_index": self._release_index}
+        if self.participation is not None:
+            state["participation"] = self.participation.state_dict()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self._release_index = int(state.get("release_index", 0))
+        participation = state.get("participation")
+        if participation is not None:
+            if self.participation is None:
+                from repro.engine.faults import ParticipationLog
+
+                self.participation = ParticipationLog(self.n_clients)
+            self.participation.load_state_dict(participation)
 
     def sample_cohort(self, error_rates: np.ndarray) -> np.ndarray:
         """Draw the evaluation cohort (uniform, or accuracy-biased)."""
@@ -139,6 +200,7 @@ class NoisyEvaluator:
                 f"error_rates shape {error_rates.shape} != weights {self.weights.shape}"
             )
         cohort = self.sample_cohort(error_rates)
+        cohort = self._apply_eval_faults(cohort)
         exact = weighted_mean(error_rates[cohort], self.weights[cohort])
         accuracy = 1.0 - exact
         noisy_acc = self.privacy.noisy_accuracy(accuracy, cohort.size, self.rng)
@@ -182,6 +244,11 @@ class NoisyEvaluator:
             raise ValueError(
                 f"error_rates shape {error_rates.shape} != weights {self.weights.shape}"
             )
+        if self._injects_eval_faults():
+            # Under injected evaluation dropout the realized cohort (and
+            # with DP, the release's sensitivity) varies per repeat; the
+            # serial loop IS the contract, so just run it.
+            return [self.evaluate(error_rates) for _ in range(n_repeats)]
         size = self.noise.cohort_size(self.n_clients)
         private = self.privacy.enabled
         noise_draws: Optional[np.ndarray] = None

@@ -10,6 +10,8 @@ to the tuning logic.
 
 from __future__ import annotations
 
+import signal
+import threading
 from dataclasses import asdict
 from typing import Dict, List, Optional
 
@@ -60,7 +62,8 @@ class BaseTuner:
 
     #: Version of the tuner state-dict layout. Bump on incompatible
     #: changes; load_state_dict rejects mismatched snapshots.
-    STATE_VERSION = 1
+    #: v2: fault-config echo + evaluator fault state (PR 7).
+    STATE_VERSION = 2
 
     def __init__(
         self,
@@ -102,6 +105,57 @@ class BaseTuner:
         self._finished = False
         self._phase: Optional[Dict] = None
         self._checkpointer = None
+        # Fault injection (attach_faults) and polite-preemption plumbing.
+        self._fault_plan = None
+        self._sigterm_pending = False
+        self._sigterm_installed = False
+        self._prev_sigterm = None
+
+    # -- fault injection --------------------------------------------------------
+    def attach_faults(self, plan) -> None:
+        """Attach a :class:`repro.engine.faults.FaultPlan` (or a bare
+        :class:`~repro.engine.faults.FaultConfig`) to the whole run: the
+        runner (injected trial crashes, trainer dropout/stragglers, worker
+        kills) and the evaluator (evaluation dropout) in one move. Call
+        before :meth:`run`; the fault config is echoed into checkpoints
+        and validated on resume, so a resumed run replays the identical
+        fault sequence. ``None`` detaches."""
+        from repro.engine.faults import FaultConfig, FaultPlan
+
+        if isinstance(plan, FaultConfig):
+            plan = FaultPlan(plan)
+        self._fault_plan = plan
+        self.runner.set_fault_plan(plan)
+        self.evaluator.set_fault_plan(plan)
+
+    # -- polite preemption ------------------------------------------------------
+    def _install_sigterm(self) -> None:
+        """Trap SIGTERM for the duration of a checkpointed run: the
+        handler only raises a flag, and :meth:`_checkpoint` — called at
+        every safe batch boundary — turns it into a final forced save
+        followed by a clean exit. Without a checkpointer (or off the main
+        thread, where signal handlers cannot be installed) this is a
+        no-op and SIGTERM keeps its default effect."""
+        self._sigterm_pending = False
+        if self._checkpointer is None:
+            return
+        if threading.current_thread() is not threading.main_thread():
+            return
+
+        def handler(signum, frame):
+            self._sigterm_pending = True
+
+        try:
+            self._prev_sigterm = signal.signal(signal.SIGTERM, handler)
+        except ValueError:  # pragma: no cover - non-main interpreter states
+            return
+        self._sigterm_installed = True
+
+    def _restore_sigterm(self) -> None:
+        if self._sigterm_installed:
+            signal.signal(signal.SIGTERM, self._prev_sigterm)
+            self._sigterm_installed = False
+            self._prev_sigterm = None
 
     # -- subclass interface ----------------------------------------------------
     def planned_releases(self) -> int:
@@ -314,9 +368,12 @@ class BaseTuner:
         tuner RNG ``bit_generator`` state, the live trial table (with
         runner payloads — live trainers serialize their params, server-opt
         state, and RNG streams), the shared phase cursor, and the
-        subclass's :meth:`_state_extra`. The evaluator needs no entry: it
-        shares the tuner's RNG object and is otherwise a pure function of
-        construction arguments."""
+        subclass's :meth:`_state_extra`. The evaluator shares the tuner's
+        RNG object and is otherwise a pure function of construction
+        arguments, except for its fault state (release index,
+        participation log), which travels under ``"evaluator"``; the
+        attached fault config travels as an echo under ``"faults"`` so a
+        resume can refuse a mismatched plan."""
         live = self._live_trials()
         inc = self._incumbent
         memo = self._incumbent_full
@@ -342,6 +399,10 @@ class BaseTuner:
                 else None
             ),
             "trials": {tid: self.runner.trial_state(t) for tid, t in sorted(live.items())},
+            "faults": (
+                self._fault_plan.config.to_dict() if self._fault_plan is not None else None
+            ),
+            "evaluator": self.evaluator.state_dict(),
             "extra": self._state_extra(),
         }
 
@@ -364,6 +425,19 @@ class BaseTuner:
             raise ValueError(
                 f"state was saved under total budget {state['ledger']['total']}, "
                 f"but this tuner was built with {self.ledger.total}"
+            )
+        saved_faults = state.get("faults")
+        attached = (
+            self._fault_plan.config.to_dict() if self._fault_plan is not None else None
+        )
+        if saved_faults != attached:
+            # A resumed run replays the identical fault sequence only when
+            # the same plan is attached; silently diverging would break
+            # the bit-reproducibility contract.
+            raise ValueError(
+                f"state was saved under fault config {saved_faults!r}, but "
+                f"this tuner has {attached!r}; attach_faults the same config "
+                "before resuming"
             )
         trials = {
             int(tid): self.runner.restore_trial(spec)
@@ -389,6 +463,7 @@ class BaseTuner:
             if phase is not None
             else None
         )
+        self.evaluator.load_state_dict(state.get("evaluator") or {})
         self._load_state_extra(state["extra"], trials)
 
     def _checkpoint(self, force: bool = False) -> None:
@@ -396,8 +471,13 @@ class BaseTuner:
         without one). _run implementations call this only at safe batch
         boundaries: points where the serialized state deterministically
         replays the remainder of the current step, so a kill anywhere
-        resumes onto the identical trajectory."""
+        resumes onto the identical trajectory. A SIGTERM received since
+        the last boundary turns this save into a forced final checkpoint
+        followed by a clean exit (polite preemption)."""
         if self._checkpointer is not None:
+            if self._sigterm_pending:
+                self._checkpointer.save(self, force=True)
+                raise SystemExit(128 + signal.SIGTERM)
             self._checkpointer.save(self, force=force)
 
     def _phased_sweep(self, configs, rounds_per_config: int) -> None:
@@ -427,10 +507,14 @@ class BaseTuner:
         if checkpoint is not None:
             self._checkpointer = checkpoint
         if not self._finished:
-            self._checkpoint()
-            self._run()
-            self._finished = True
-            self._checkpoint(force=True)
+            self._install_sigterm()
+            try:
+                self._checkpoint()
+                self._run()
+                self._finished = True
+                self._checkpoint(force=True)
+            finally:
+                self._restore_sigterm()
         best_trial = self._incumbent
         return TuningResult(
             method=self.method_name,

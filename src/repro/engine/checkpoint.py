@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from typing import Dict
 
 #: Version stamp of the on-disk checkpoint layout. Bump whenever the
@@ -99,16 +100,46 @@ def save_checkpoint(path: str, tuner) -> str:
     return write_state(path, capture_run_state(tuner))
 
 
+def _quarantine_corrupt(path: str, reason: str) -> None:
+    """Move a corrupt/truncated checkpoint aside as ``<path>.corrupt``
+    (mirroring :meth:`repro.engine.bank_store.BankStore.get`), so the next
+    launch finds no checkpoint and starts fresh instead of tripping over
+    the same broken file forever. The file is preserved for post-mortems.
+    """
+    quarantine = path + ".corrupt"
+    try:
+        os.replace(path, quarantine)
+        note = f"quarantined as {quarantine}"
+    except OSError as move_exc:
+        note = f"could not be quarantined ({move_exc})"
+    warnings.warn(
+        f"corrupt checkpoint {path}: {reason}; {note} — a re-launch will "
+        "start the run fresh",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def load_checkpoint(path: str) -> Dict:
-    """Read and validate a checkpoint file (raises on version mismatch)."""
+    """Read and validate a checkpoint file (raises on version mismatch).
+
+    A corrupt or truncated file (unreadable pickle, or a pickle that is
+    not a run checkpoint) is quarantined as ``<path>.corrupt`` with a
+    warning and raises :class:`CheckpointError` — never a raw ``pickle``
+    exception. Version mismatches are NOT quarantined: the file is a
+    valid checkpoint from another build, and destroying it would be worse
+    than refusing it.
+    """
     try:
         with open(path, "rb") as fh:
             state = pickle.load(fh)
     except FileNotFoundError:
         raise
     except Exception as exc:
+        _quarantine_corrupt(path, f"unreadable: {exc!r}")
         raise CheckpointError(f"unreadable checkpoint {path!r}: {exc}") from exc
     if not isinstance(state, dict) or "format_version" not in state:
+        _quarantine_corrupt(path, "not a run checkpoint")
         raise CheckpointError(f"{path!r} is not a run checkpoint")
     if state["format_version"] != CHECKPOINT_FORMAT_VERSION:
         raise CheckpointVersionError(

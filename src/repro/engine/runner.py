@@ -39,6 +39,7 @@ class ParallelTrialRunner(FederatedTrialRunner):
         seed: SeedLike = 0,
         n_workers: Optional[int] = None,
         cohort_mode: Optional[str] = None,
+        faults=None,
     ):
         super().__init__(
             dataset,
@@ -49,6 +50,10 @@ class ParallelTrialRunner(FederatedTrialRunner):
             executor=make_executor(n_workers),
             cohort_mode=cohort_mode,
         )
+        if faults is not None:
+            # Wires injected trial crashes, trainer dropout/stragglers, and
+            # executor worker kills in one move (see TrialRunner.set_fault_plan).
+            self.set_fault_plan(faults)
 
     @property
     def n_workers(self) -> int:

@@ -45,6 +45,7 @@ from repro.experiments.fig_methods import (
     run_figure1,
     run_method_comparison,
 )
+from repro.experiments.fig_faults import DROPOUT_GRID, run_fault_sweep
 from repro.experiments.fig_proxy import (
     MATCHED_PAIRS,
     MISMATCHED_PAIRS,
@@ -95,6 +96,8 @@ __all__ = [
     "make_tuner",
     "run_figure1",
     "run_method_comparison",
+    "DROPOUT_GRID",
+    "run_fault_sweep",
     "MATCHED_PAIRS",
     "MISMATCHED_PAIRS",
     "one_shot_proxy_pick",

@@ -33,6 +33,7 @@ from repro.experiments import (
     run_figure11,
     run_figure12,
     run_figure13,
+    run_fault_sweep,
     run_method_comparison,
     run_table1,
     run_table2,
@@ -92,6 +93,20 @@ _ARTIFACTS: Dict[str, tuple] = {
         lambda ctx, n: run_figure13(ctx, n_trials=n),
         ("dataset", "log10_span", "noiseless", "noisy_median"),
     ),
+    "figfaults": (
+        lambda ctx, n: run_fault_sweep(ctx, n_trials=max(1, n // 10)),
+        (
+            "dataset",
+            "method",
+            "dropout_rate",
+            "trial",
+            "final_full_error",
+            "train_drop_fraction",
+            "eval_drop_fraction",
+            "rounds_lost",
+            "quarantined_trials",
+        ),
+    ),
 }
 _ARTIFACTS["fig14"] = _ARTIFACTS["fig10"]
 _ARTIFACTS["fig15"] = _ARTIFACTS["fig8"]
@@ -99,6 +114,11 @@ _ARTIFACTS["fig16"] = _ARTIFACTS["fig8"]
 
 #: Artifacts driven by run_method_comparison, where --methods applies.
 METHOD_COMPARISON_ARTIFACTS = ("fig8", "fig15", "fig16")
+
+#: Artifacts where --faults applies: the live-tuning sweeps. For the
+#: method-comparison figures the spec faults the whole sweep; for
+#: figfaults it sets the base config whose dropout knobs the grid sweeps.
+FAULTS_ARTIFACTS = METHOD_COMPARISON_ARTIFACTS + ("figfaults",)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
             "(bit-identical continuation; runs without a checkpoint start fresh)"
         ),
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "fault-injection spec for the live-tuning artifacts "
+            f"({', '.join(FAULTS_ARTIFACTS)}), e.g. "
+            "'dropout=0.1,straggler=0.05,quorum=0.5,seed=3' "
+            "(default: $REPRO_FAULTS; see repro.engine.faults)"
+        ),
+    )
     return parser
 
 
@@ -173,19 +203,19 @@ def main(argv: List[str] = None) -> int:
         print("error: --artifact (or --list) is required", file=sys.stderr)
         return 2
     runner, columns = _ARTIFACTS[args.artifact]
-    if args.artifact not in METHOD_COMPARISON_ARTIFACTS:
-        for flag, given in (
-            ("--methods", args.methods is not None),
-            ("--checkpoint-dir", args.checkpoint_dir is not None),
-            ("--resume", args.resume),
-        ):
-            if given:
-                print(
-                    f"error: {flag} only applies to "
-                    f"{', '.join(METHOD_COMPARISON_ARTIFACTS)}",
-                    file=sys.stderr,
-                )
-                return 2
+    methods_artifacts = METHOD_COMPARISON_ARTIFACTS + ("figfaults",)
+    for flag, given, where in (
+        ("--methods", args.methods is not None, methods_artifacts),
+        ("--checkpoint-dir", args.checkpoint_dir is not None, METHOD_COMPARISON_ARTIFACTS),
+        ("--resume", args.resume, METHOD_COMPARISON_ARTIFACTS),
+        ("--faults", args.faults is not None, FAULTS_ARTIFACTS),
+    ):
+        if given and args.artifact not in where:
+            print(
+                f"error: {flag} only applies to {', '.join(where)}",
+                file=sys.stderr,
+            )
+            return 2
     if args.resume and not (
         args.checkpoint_dir or os.environ.get("REPRO_CHECKPOINT_DIR")
     ):
@@ -194,6 +224,15 @@ def main(argv: List[str] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    fault_config = None
+    if args.faults is not None:
+        from repro.engine.faults import FaultConfig
+
+        try:
+            fault_config = FaultConfig.parse(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.methods is not None or args.resume:
         try:
             methods = (
@@ -204,8 +243,18 @@ def main(argv: List[str] = None) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        runner = lambda ctx, n: run_method_comparison(  # noqa: E731
-            ctx, methods=methods, n_trials=max(1, n // 10), resume=args.resume
+        if args.artifact == "figfaults":
+            runner = lambda ctx, n: run_fault_sweep(  # noqa: E731
+                ctx, methods=methods, n_trials=max(1, n // 10),
+                base_faults=fault_config,
+            )
+        else:
+            runner = lambda ctx, n: run_method_comparison(  # noqa: E731
+                ctx, methods=methods, n_trials=max(1, n // 10), resume=args.resume
+            )
+    elif args.artifact == "figfaults" and fault_config is not None:
+        runner = lambda ctx, n: run_fault_sweep(  # noqa: E731
+            ctx, n_trials=max(1, n // 10), base_faults=fault_config
         )
     ctx = ExperimentContext(
         preset=args.preset,
@@ -215,6 +264,10 @@ def main(argv: List[str] = None) -> int:
         n_workers=args.workers,
         cohort_mode=args.cohort_mode,
         checkpoint_dir=args.checkpoint_dir,
+        # figfaults seeds each sweep point itself (base_faults above);
+        # the method-comparison figures run their whole sweep under the
+        # context-attached plan.
+        faults=None if args.artifact == "figfaults" else fault_config,
     )
     records = runner(ctx, args.trials)
     print(format_table(records, columns, title=f"{args.artifact} ({args.preset} preset)"))

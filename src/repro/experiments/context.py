@@ -22,9 +22,12 @@ from repro.utils.rng import RngFactory
 # REPRO_WORKERS — worker-process count for parallel bank builds.
 # REPRO_COHORT_VECTOR — vectorized lockstep cohort training (repro.fl.cohort).
 # REPRO_CHECKPOINT_DIR — directory for tuning-run checkpoints (repro.engine.checkpoint).
+# REPRO_FAULTS — fault-injection spec, e.g. "dropout=0.1,straggler=0.05,seed=3"
+#   (repro.engine.faults.FaultConfig.parse).
 CACHE_ENV_VAR = "REPRO_BANK_CACHE"
 WORKERS_ENV_VAR = "REPRO_WORKERS"
 CHECKPOINT_ENV_VAR = "REPRO_CHECKPOINT_DIR"
+FAULTS_ENV_VAR = "REPRO_FAULTS"
 
 # Client batch-size choices scale with per-client dataset size so the
 # batch-size HP stays meaningful at every preset.
@@ -73,6 +76,11 @@ class ExperimentContext:
         state here and — with ``resume`` enabled — pick interrupted runs
         back up bit-identically. Defaults to ``$REPRO_CHECKPOINT_DIR``
         (no checkpointing when unset).
+    faults : a :class:`repro.engine.faults.FaultConfig` (or ``FaultPlan``)
+        injected into every live tuning run this context drives (see
+        :func:`repro.experiments.fig_methods.make_tuner`) and into the
+        context's executor (worker kills). Defaults to ``$REPRO_FAULTS``
+        parsed via :meth:`FaultConfig.parse` (no injection when unset).
     """
 
     def __init__(
@@ -86,9 +94,11 @@ class ExperimentContext:
         n_workers: Optional[int] = None,
         cohort_mode: Optional[str] = None,
         checkpoint_dir: Optional[str] = None,
+        faults=None,
     ):
         from repro.engine.bank_store import BankStore
         from repro.engine.executor import SerialExecutor, make_executor
+        from repro.engine.faults import FaultConfig, FaultPlan
         from repro.fl.cohort import resolve_cohort_mode
 
         self.preset = preset
@@ -110,10 +120,17 @@ class ExperimentContext:
         if checkpoint_dir is None:
             checkpoint_dir = os.environ.get(CHECKPOINT_ENV_VAR) or None
         self.checkpoint_dir = checkpoint_dir
+        if faults is None:
+            spec = os.environ.get(FAULTS_ENV_VAR) or None
+            if spec:
+                faults = FaultConfig.parse(spec)
+        if isinstance(faults, FaultConfig):
+            faults = FaultPlan(faults)
+        self.faults = faults
         if n_workers is None and not os.environ.get(WORKERS_ENV_VAR):
             self.executor = SerialExecutor()
         else:
-            self.executor = make_executor(n_workers)
+            self.executor = make_executor(n_workers, faults=self.faults)
 
     @property
     def max_rounds(self) -> int:

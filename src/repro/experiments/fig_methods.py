@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import warnings
 from typing import Dict, List, Optional, Sequence, Type
 
 import numpy as np
@@ -105,6 +106,7 @@ def make_tuner(
     k: int = 16,
     total_budget: Optional[int] = None,
     resume: Optional[str] = None,
+    faults=None,
 ) -> BaseTuner:
     """Build one tuner wired to a live federated runner.
 
@@ -112,9 +114,19 @@ def make_tuner(
     :mod:`repro.engine.checkpoint`): when it exists, the tuner is restored
     from it and continues the interrupted run bit-identically; when it
     does not exist yet — the normal first launch — the run starts fresh.
+    A corrupt checkpoint is quarantined (with a warning, see
+    ``load_checkpoint``) and the run starts fresh rather than aborting the
+    sweep; version mismatches still raise.
+
+    ``faults`` (a :class:`repro.engine.faults.FaultPlan`) is attached to
+    the whole run — trainers, runner, evaluator, executor — before any
+    resume, so the checkpointed fault-config echo validates. Defaults to
+    ``ctx.faults`` (the ``$REPRO_FAULTS`` / ``--faults`` plan).
     """
     if method not in METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {sorted(METHODS)}")
+    if faults is None:
+        faults = getattr(ctx, "faults", None)
     runner = FederatedTrialRunner(
         ctx.dataset(dataset_name),
         max_rounds=ctx.max_rounds,
@@ -137,12 +149,29 @@ def make_tuner(
         )
     else:
         tuner = cls(ctx.space, runner, noise, total_budget=budget, seed=seed)
+    if faults is not None:
+        tuner.attach_faults(faults)
     if resume is not None and os.path.exists(resume):
         # Lazy import: repro.engine pulls in the bank layer, which imports
         # this package (same cycle ExperimentContext breaks the same way).
-        from repro.engine.checkpoint import resume_checkpoint
+        from repro.engine.checkpoint import (
+            CheckpointError,
+            CheckpointVersionError,
+            resume_checkpoint,
+        )
 
-        resume_checkpoint(tuner, resume)
+        try:
+            resume_checkpoint(tuner, resume)
+        except CheckpointVersionError:
+            # A valid checkpoint from another build: refusing loudly beats
+            # silently redoing (and then overwriting) someone's run.
+            raise
+        except CheckpointError as exc:
+            warnings.warn(
+                f"could not resume {resume}: {exc}; starting the run fresh",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return tuner
 
 
@@ -168,8 +197,16 @@ def run_method_comparison(
     exists, so a preempted sweep re-launched with the same arguments
     replays finished runs from their final snapshots and continues
     interrupted ones bit-identically.
+
+    A run that raises does not abort the sweep: it is recorded as a
+    failure entry (``failed=True`` plus the exception text, no curve
+    fields) and the remaining runs proceed; a summary warning names every
+    failed run at the end. ``SystemExit``/``KeyboardInterrupt`` (e.g. the
+    SIGTERM checkpoint-and-exit path) still propagate — those mean "stop
+    the sweep", not "this run is bad".
     """
     records: List[Record] = []
+    failed_runs: List[str] = []
     budgets = [(i + 1) * ctx.total_budget // budget_points for i in range(budget_points)]
     if checkpoint_dir is None:
         checkpoint_dir = ctx.checkpoint_dir
@@ -190,10 +227,31 @@ def run_method_comparison(
                         checkpoint = RunCheckpointer(path)
                         if resume:
                             resume_path = path
-                    tuner = make_tuner(
-                        method, ctx, name, noise, seed, resume=resume_path
-                    )
-                    result = tuner.run(checkpoint=checkpoint)
+                    run_name = f"{name}/{setting}/{method}/t{trial}"
+                    try:
+                        tuner = make_tuner(
+                            method, ctx, name, noise, seed, resume=resume_path
+                        )
+                        result = tuner.run(checkpoint=checkpoint)
+                    except Exception as exc:
+                        failed_runs.append(run_name)
+                        warnings.warn(
+                            f"run {run_name} failed: {exc!r}; continuing the sweep",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                        records.append(
+                            Record(
+                                figure="fig8",
+                                dataset=name,
+                                method=method,
+                                setting=setting,
+                                trial=trial,
+                                failed=True,
+                                error=repr(exc),
+                            )
+                        )
+                        continue
                     curve = [result.full_error_at_budget(b) for b in budgets]
                     records.append(
                         Record(
@@ -208,17 +266,28 @@ def run_method_comparison(
                             n_evaluations=len(result.observations),
                         )
                     )
+    if failed_runs:
+        warnings.warn(
+            f"{len(failed_runs)} of the sweep's runs failed and were recorded "
+            f"as failure entries: {', '.join(failed_runs)}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records
 
 
 def curve_medians(
     records: Sequence[Record], dataset: str, method: str, setting: str
 ) -> Dict[str, np.ndarray]:
-    """Median (and quartile) incumbent curves across trials."""
+    """Median (and quartile) incumbent curves across trials. Failure
+    entries from a degraded sweep carry no curves and are skipped."""
     rows = [
         r
         for r in records
-        if r.dataset == dataset and r.method == method and r.setting == setting
+        if r.dataset == dataset
+        and r.method == method
+        and r.setting == setting
+        and not r.get("failed")
     ]
     if not rows:
         raise ValueError(f"no records for ({dataset}, {method}, {setting})")
@@ -239,6 +308,7 @@ def bars_at_budget(
     if not 0.0 < budget_fraction <= 1.0:
         raise ValueError(f"budget_fraction must be in (0, 1], got {budget_fraction}")
     out: List[Record] = []
+    records = [r for r in records if not r.get("failed")]
     keys = sorted({(r.dataset, r.method, r.setting) for r in records})
     for dataset, method, setting in keys:
         rows = [

@@ -28,6 +28,7 @@ can drive it.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -135,16 +136,40 @@ class FusedTrainerPool:
             trainers[i].run(rounds[i])
 
     # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _trainer_names(trainers: Sequence[FederatedTrainer]) -> str:
+        """Human-readable trial names for degradation warnings (the fault
+        key is the trial id when a runner attached one)."""
+        return ", ".join(
+            str(t.fault_key) if t.fault_key is not None else f"#{i}"
+            for i, t in enumerate(trainers)
+        )
+
     def _advance_group(
         self, trainers: List[FederatedTrainer], rounds: List[int], key: tuple
     ) -> None:
         slab = self._slabs.get(key)
         if slab is None:
-            slab = SlabTrainer(
-                trainers[0].dataset.task,
-                trainers[0].model,
-                sum(t.clients_per_round for t in trainers),
-            )
+            try:
+                slab = SlabTrainer(
+                    trainers[0].dataset.task,
+                    trainers[0].model,
+                    sum(t.clients_per_round for t in trainers),
+                )
+            except Exception as exc:
+                # First degradation step: no cross-trial slab, but each
+                # trainer still runs its own (vectorized-where-possible)
+                # rounds. No training happened yet, so this is exact.
+                warnings.warn(
+                    f"fused slab unavailable for trials "
+                    f"[{self._trainer_names(trainers)}]: {exc!r}; degrading "
+                    "group to per-trainer rounds",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                for trainer, r in zip(trainers, rounds):
+                    trainer.run(r)
+                return
             self._slabs[key] = slab
         remaining = list(rounds)
         while True:
@@ -200,7 +225,22 @@ class FusedTrainerPool:
                 )
             )
         outs = [trainer._updates for trainer in trainers]
-        succeeded = slab.train_groups(groups, outs)
+        try:
+            succeeded = slab.train_groups(groups, outs)
+        except Exception as exc:
+            # Second degradation step: the slab pass itself blew up. Every
+            # trainer still holds its post-sample RNG snapshot, so marking
+            # the whole round as failed reruns it through the exact serial
+            # divergence-fallback path below — same results the slab would
+            # have produced, one warning naming the degraded trials.
+            warnings.warn(
+                f"fused round failed for trials "
+                f"[{self._trainer_names(trainers)}]: {exc!r}; rerunning the "
+                "round serially per trainer",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            succeeded = [False] * len(trainers)
         for trainer, cohort, snapshot, drngs, ok in zip(
             trainers, cohorts, snapshots, rng_lists, succeeded
         ):

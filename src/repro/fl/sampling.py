@@ -47,13 +47,26 @@ class BiasedSampler:
     Uses the Gumbel top-k trick for weighted sampling without replacement:
     perturb log-weights with Gumbel noise and take the top ``size`` — an
     exact sampler for the successive-draws-without-replacement model.
+
+    ``availability`` optionally composes a second per-client weight vector
+    into the selection probabilities — typically the *realized* report
+    rates measured by a :class:`repro.engine.faults.ParticipationLog`
+    (``log.availability_weights()``), so empirically-observed dropout
+    biases sampling the same multiplicative way the paper's static
+    ``(a_k + δ)^b`` model does. ``None`` (the default) leaves the sampler
+    bit-identical to its availability-free behavior.
     """
 
-    def __init__(self, b: float, delta: float = 1e-4):
+    def __init__(self, b: float, delta: float = 1e-4, availability=None):
         if b < 0:
             raise ValueError(f"bias exponent b must be >= 0, got {b}")
         self.b = b
         self.delta = delta
+        if availability is not None:
+            availability = np.asarray(availability, dtype=np.float64)
+            if np.any(availability < 0) or not np.any(availability > 0):
+                raise ValueError("availability weights must be >= 0 with a positive sum")
+        self.availability = availability
 
     def sample(
         self, accuracies: np.ndarray, size: int, rng: SeedLike = None
@@ -63,9 +76,23 @@ class BiasedSampler:
         if not 1 <= size <= n:
             raise ValueError(f"size must be in [1, {n}], got {size}")
         rng = as_rng(rng)
-        if self.b == 0.0:
+        if self.b == 0.0 and self.availability is None:
             return rng.choice(n, size=size, replace=False)
-        probs = biased_weights(accuracies, self.b, self.delta)
+        if self.b == 0.0:
+            probs = np.full(n, 1.0 / n)
+        else:
+            probs = biased_weights(accuracies, self.b, self.delta)
+        if self.availability is not None:
+            if self.availability.size != n:
+                raise ValueError(
+                    f"availability has {self.availability.size} clients, "
+                    f"accuracies have {n}"
+                )
+            probs = probs * self.availability
+            probs = probs / probs.sum()
         gumbel = rng.gumbel(size=n)
-        keys = np.log(probs) + gumbel
+        with np.errstate(divide="ignore"):
+            # Zero-probability clients (never-available) get -inf keys and
+            # are only drawn when size exceeds the available pool.
+            keys = np.log(probs) + gumbel
         return np.argpartition(-keys, size - 1)[:size]

@@ -116,6 +116,13 @@ class FederatedTrainer:
         )
         self._train_weights = dataset.train_weights(scheme)
         self.rounds_completed = 0
+        # Fault injection (repro.engine.faults), attached post-construction
+        # via set_fault_plan so construction sites stay untouched. With no
+        # plan (or a plan with zero client-fault rates) every fault branch
+        # below is dead and training is bit-identical to a faultless build.
+        self.faults = None
+        self.fault_key = None
+        self.participation = None
         self.cohort_mode = resolve_cohort_mode(cohort_mode)
         # The per-trainer slab is built lazily on the first standalone
         # round: trials advanced through the fused pool never touch it, so
@@ -154,14 +161,34 @@ class FederatedTrainer:
             )
 
     def _finish_round(self, cohort: np.ndarray, updates: np.ndarray) -> None:
-        """Aggregate client updates and apply the server optimizer."""
+        """Aggregate client updates and apply the server optimizer.
+
+        With a fault plan attached, dropped clients are excluded *here* —
+        their updates were computed but never reported — so every RNG
+        stream advances exactly as in the fault-free run and the serial,
+        vectorized, and fused paths inject identical faults. A round whose
+        survivors miss the quorum is lost (global model frozen for that
+        round, like the divergence convention).
+        """
+        if self.faults is not None and self.faults.injects_client_faults:
+            cohort, updates, proceed = self._apply_round_faults(cohort, updates)
+            if not proceed:
+                self.rounds_completed += 1
+                return
         weights = self._train_weights[cohort]
-        # Weighted average with reused buffers; elementwise-multiply + axis
-        # sum + divide is bit-identical to the np.average it replaces.
-        np.multiply(updates, weights[:, None], out=self._weighted)
-        np.sum(self._weighted, axis=0, out=self._avg)
-        self._avg /= weights.sum()
-        pseudo_grad = self.params - self._avg
+        if updates.shape[0] == self._weighted.shape[0]:
+            # Weighted average with reused buffers; elementwise-multiply +
+            # axis sum + divide is bit-identical to the np.average it
+            # replaces.
+            np.multiply(updates, weights[:, None], out=self._weighted)
+            np.sum(self._weighted, axis=0, out=self._avg)
+            self._avg /= weights.sum()
+            avg = self._avg
+        else:
+            # Survivor subset after dropout: too small for the scratch
+            # buffers, so aggregate out of place (fault path only).
+            avg = (updates * weights[:, None]).sum(axis=0) / weights.sum()
+        pseudo_grad = self.params - avg
         if not np.all(np.isfinite(pseudo_grad)):
             # A client diverged under this config. Freeze the global model:
             # the config will evaluate poorly, which is the correct signal.
@@ -169,6 +196,41 @@ class FederatedTrainer:
             return
         self.params = self.server_opt.step(self.params, pseudo_grad)
         self.rounds_completed += 1
+
+    def _apply_round_faults(self, cohort: np.ndarray, updates: np.ndarray):
+        """Drop/straggle this round's cohort per the attached fault plan.
+
+        Returns ``(survivor_cohort, survivor_updates, proceed)`` —
+        ``proceed`` is False when the survivors miss the quorum and the
+        round is lost. Stragglers still report (aggregation unchanged, so
+        a straggler-only plan leaves trajectories bit-identical to the
+        fault-free run); they only grow this round's simulated wall-clock
+        delay and the participation counters.
+        """
+        plan = self.faults
+        round_index = self.rounds_completed
+        drop = plan.dropout_mask(self.fault_key, round_index, cohort)
+        straggle = plan.straggler_mask(self.fault_key, round_index, cohort)
+        survivors = ~drop
+        reporting_stragglers = straggle & survivors
+        lost = int(survivors.sum()) < plan.min_reporters(len(cohort))
+        delay = 0.0
+        if not lost and reporting_stragglers.any():
+            # The server waits out its slowest reporter.
+            delay = plan.config.straggler_delay
+        if self.participation is not None:
+            self.participation.record_round(
+                cohort,
+                dropped=cohort[drop],
+                straggled=cohort[reporting_stragglers],
+                lost=lost,
+                delay=delay,
+            )
+        if lost:
+            return cohort, updates, False
+        if not drop.any():
+            return cohort, updates, True
+        return cohort[survivors], updates[survivors], True
 
     def run_round(self) -> None:
         """One communication round (the inner loop of Algorithm 2)."""
@@ -243,6 +305,30 @@ class FederatedTrainer:
         )
         self._cohort_trainer = None
 
+    # -- fault injection -----------------------------------------------------
+    def set_fault_plan(self, plan, key) -> None:
+        """Attach a :class:`repro.engine.faults.FaultPlan` to this trainer.
+
+        ``key`` identifies the trainer inside the plan's deterministic
+        coordinate space (trial runners pass the trial id), so each
+        trainer draws its own fault stream regardless of execution order.
+        Passing ``plan=None`` detaches injection.
+        """
+        self.faults = plan
+        self.fault_key = key
+        if plan is not None and plan.injects_client_faults and self.participation is None:
+            from repro.engine.faults import ParticipationLog
+
+            self.participation = ParticipationLog(self.dataset.num_train_clients)
+
+    @property
+    def simulated_time(self) -> float:
+        """Simulated wall-clock cost of training so far (1 unit per round
+        plus straggler delays); 0.0 until client faults are injected."""
+        if self.participation is None:
+            return 0.0
+        return self.participation.simulated_time
+
     # -- state transport ----------------------------------------------------
     def state_dict(self) -> dict:
         """All mutable training state, as plain picklable data.
@@ -258,7 +344,7 @@ class FederatedTrainer:
         """
         from repro.nn.stacked import collect_dropout_rngs
 
-        return {
+        state = {
             "params": self.params.copy(),
             "rng_state": self._rng.bit_generator.state,
             "server_opt": self.server_opt.state_dict(),
@@ -267,6 +353,12 @@ class FederatedTrainer:
                 r.bit_generator.state for r in collect_dropout_rngs(self.model)
             ],
         }
+        if self.participation is not None:
+            # Realized-participation counters ride the same round trip as
+            # the RNG streams, so worker advances and checkpoint resumes
+            # keep the fault bookkeeping exact.
+            state["participation"] = self.participation.state_dict()
+        return state
 
     def load_state_dict(self, state: dict) -> None:
         """Restore state captured by :meth:`state_dict`."""
@@ -280,6 +372,13 @@ class FederatedTrainer:
         if dropout_states is not None:
             for rng, rng_state in zip(collect_dropout_rngs(self.model), dropout_states):
                 rng.bit_generator.state = rng_state
+        participation = state.get("participation")
+        if participation is not None:
+            if self.participation is None:
+                from repro.engine.faults import ParticipationLog
+
+                self.participation = ParticipationLog(self.dataset.num_train_clients)
+            self.participation.load_state_dict(participation)
 
     # -- evaluation conveniences --------------------------------------------
     def eval_error_rates(self, max_chunk_examples: int = 4096) -> np.ndarray:
