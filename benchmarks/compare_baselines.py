@@ -39,6 +39,7 @@ GATED_FILES = (
     "BENCH_trialfuse.json",
     "BENCH_evalfuse.json",
     "BENCH_population.json",
+    "BENCH_backend.json",
 )
 
 

@@ -28,6 +28,7 @@ def config_to_trainer(
     scheme: str = "weighted",
     seed: SeedLike = 0,
     cohort_mode: Optional[str] = None,
+    cohort_dtype=None,
 ) -> FederatedTrainer:
     """Instantiate a :class:`FederatedTrainer` from a paper-space config."""
     server_opt = FedAdam(
@@ -51,6 +52,7 @@ def config_to_trainer(
         scheme=scheme,
         seed=seed,
         cohort_mode=cohort_mode,
+        cohort_dtype=cohort_dtype,
     )
 
 
@@ -342,8 +344,10 @@ class FederatedTrialRunner(TrialRunner):
         seed: SeedLike = 0,
         executor=None,
         cohort_mode: Optional[str] = None,
+        cohort_dtype=None,
     ):
         from repro.fl.cohort import resolve_cohort_mode
+        from repro.nn.backend import resolve_dtype
 
         super().__init__(max_rounds)
         self.dataset = dataset
@@ -351,6 +355,7 @@ class FederatedTrialRunner(TrialRunner):
         self.scheme = scheme
         self.executor = executor
         self.cohort_mode = resolve_cohort_mode(cohort_mode)
+        self.cohort_dtype = resolve_dtype(cohort_dtype)
         self._fused_pool = None
         self._eval_engine = None
         self._seed_rng = as_rng(seed)
@@ -375,6 +380,7 @@ class FederatedTrialRunner(TrialRunner):
             scheme=self.scheme,
             seed=trial_seed,
             cohort_mode=self.cohort_mode,
+            cohort_dtype=self.cohort_dtype,
         )
         if self.faults is not None:
             # The trial id keys the trainer's fault draws, so each trial's
@@ -415,6 +421,7 @@ class FederatedTrialRunner(TrialRunner):
             scheme=self.scheme,
             seed=0,
             cohort_mode=self.cohort_mode,
+            cohort_dtype=self.cohort_dtype,
         )
         if self.faults is not None:
             # Reattach before load_state_dict so restored participation
@@ -474,7 +481,7 @@ class FederatedTrialRunner(TrialRunner):
             if self._fused_pool is None:
                 from repro.fl.fused import FusedTrainerPool
 
-                self._fused_pool = FusedTrainerPool()
+                self._fused_pool = FusedTrainerPool(dtype=self.cohort_dtype)
             before = [trial.state.rounds_completed for trial, _ in work]
             try:
                 self._fused_pool.advance(
@@ -589,7 +596,7 @@ class FederatedTrialRunner(TrialRunner):
         from repro.fl.evaluation import StackedEvalEngine, fused_group_rates
 
         if self._eval_engine is None:
-            self._eval_engine = StackedEvalEngine()
+            self._eval_engine = StackedEvalEngine(dtype=self.cohort_dtype)
         rates = fused_group_rates(
             self._eval_engine,
             [trial.state.model for trial in pending],

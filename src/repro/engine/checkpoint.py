@@ -46,11 +46,28 @@ class CheckpointVersionError(CheckpointError):
     """The checkpoint was written under an incompatible format version."""
 
 
+def _active_precision(tuner) -> Dict:
+    """The (cohort_dtype, backend) pair the run is training under.
+
+    Stamped into every checkpoint so a run saved under one precision is
+    never silently resumed under another — a float32 run resumed in
+    float64 (or vice versa) would not replay bit-identically.
+    """
+    import numpy as np
+
+    from repro.nn.backend import get_backend, resolve_dtype
+
+    dtype = getattr(tuner.runner, "cohort_dtype", None)
+    dtype = np.dtype(dtype) if dtype is not None else resolve_dtype()
+    return {"cohort_dtype": dtype.name, "backend": get_backend().name}
+
+
 def capture_run_state(tuner) -> Dict:
     """Snapshot a tuner + its runner as one plain picklable dict."""
     return {
         "format_version": CHECKPOINT_FORMAT_VERSION,
         "method": tuner.method_name,
+        "precision": _active_precision(tuner),
         "tuner": tuner.state_dict(),
         "runner": tuner.runner.state_dict(),
     }
@@ -71,6 +88,18 @@ def restore_run_state(tuner, state: Dict):
         raise CheckpointError(
             f"checkpoint is for method {method!r}, not {tuner.method_name!r}"
         )
+    # Precision is validated only when the checkpoint carries it:
+    # version-1 checkpoints written before the dtype/backend stamp are
+    # float64-on-NumPy by construction and stay loadable.
+    saved_precision = state.get("precision")
+    if saved_precision is not None:
+        active = _active_precision(tuner)
+        if saved_precision != active:
+            raise CheckpointError(
+                f"checkpoint was written under {saved_precision!r} but this "
+                f"run is configured for {active!r}; resuming across "
+                "precision/backend changes is not bit-reproducible"
+            )
     # Runner first: trial payload rehydration inside the tuner's
     # load_state_dict must not consume the runner's trial-seed stream,
     # and the restored stream/ids must be in place before any trial is

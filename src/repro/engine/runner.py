@@ -39,6 +39,7 @@ class ParallelTrialRunner(FederatedTrialRunner):
         seed: SeedLike = 0,
         n_workers: Optional[int] = None,
         cohort_mode: Optional[str] = None,
+        cohort_dtype=None,
         faults=None,
     ):
         super().__init__(
@@ -49,6 +50,7 @@ class ParallelTrialRunner(FederatedTrialRunner):
             seed=seed,
             executor=make_executor(n_workers),
             cohort_mode=cohort_mode,
+            cohort_dtype=cohort_dtype,
         )
         if faults is not None:
             # Wires injected trial crashes, trainer dropout/stragglers, and

@@ -55,6 +55,7 @@ class TrialFusedRunner(FederatedTrialRunner):
         clients_per_round: int = 10,
         scheme: str = "weighted",
         seed: SeedLike = 0,
+        cohort_dtype=None,
     ):
         super().__init__(
             dataset,
@@ -63,4 +64,5 @@ class TrialFusedRunner(FederatedTrialRunner):
             scheme=scheme,
             seed=seed,
             cohort_mode="fused",
+            cohort_dtype=cohort_dtype,
         )

@@ -41,7 +41,17 @@ def _build_config_task(payload, k: int):
     per-config trainer seed was drawn serially in the parent before
     dispatch, so results are bit-identical to the serial loop.
     """
-    dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_mode = payload
+    (
+        dataset,
+        configs,
+        seeds,
+        ckpts,
+        clients_per_round,
+        scheme,
+        store_params,
+        cohort_mode,
+        cohort_dtype,
+    ) = payload
     cfg = configs[k]
     trainer = config_to_trainer(
         {key: v for key, v in cfg.items() if key != BANK_ID_KEY},
@@ -50,6 +60,7 @@ def _build_config_task(payload, k: int):
         scheme=scheme,
         seed=seeds[k],
         cohort_mode=cohort_mode,
+        cohort_dtype=cohort_dtype,
     )
     errors = np.empty((len(ckpts), dataset.num_eval_clients))
     params = np.empty((len(ckpts), trainer.params.size)) if store_params else None
@@ -80,7 +91,9 @@ def effective_build_mode(cohort_mode, executor) -> str:
     return mode
 
 
-def _build_fused(dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params):
+def _build_fused(
+    dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_dtype=None
+):
     """Train the whole config pool as one cross-config slab.
 
     All configs share the dataset's architecture, so the fused pool merges
@@ -103,10 +116,11 @@ def _build_fused(dataset, configs, seeds, ckpts, clients_per_round, scheme, stor
             scheme=scheme,
             seed=seeds[k],
             cohort_mode="fused",
+            cohort_dtype=cohort_dtype,
         )
         for k, cfg in enumerate(configs)
     ]
-    pool = FusedTrainerPool()
+    pool = FusedTrainerPool(dtype=cohort_dtype)
     errors = [np.empty((len(ckpts), dataset.num_eval_clients)) for _ in trainers]
     params = [
         np.empty((len(ckpts), t.params.size)) if store_params else None for t in trainers
@@ -180,6 +194,7 @@ class ConfigBank:
         checkpoints: Optional[Sequence[int]] = None,
         executor=None,
         cohort_mode: Optional[str] = None,
+        cohort_dtype=None,
     ) -> "ConfigBank":
         """Train the config pool and record checkpointed evaluations.
 
@@ -201,6 +216,11 @@ class ConfigBank:
         (:class:`repro.fl.fused.FusedTrainerPool`), every config's cohort
         in lockstep. With a multi-worker executor, "fused" defers to
         process parallelism and each worker's trainer runs vectorized.
+
+        ``cohort_dtype`` selects the slab compute dtype of the build
+        (``None`` resolves from ``$REPRO_DTYPE``; see
+        :mod:`repro.nn.backend`) — global parameters, aggregation, and
+        the recorded error tensor stay float64 regardless.
         """
         rng = as_rng(seed)
         if configs is None:
@@ -228,11 +248,19 @@ class ConfigBank:
         cohort_mode = effective_build_mode(cohort_mode, executor)
         if cohort_mode == "fused":
             results = _build_fused(
-                dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params
+                dataset,
+                configs,
+                seeds,
+                ckpts,
+                clients_per_round,
+                scheme,
+                store_params,
+                cohort_dtype=cohort_dtype,
             )
         else:
             payload = (
-                dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params, cohort_mode,
+                dataset, configs, seeds, ckpts, clients_per_round, scheme, store_params,
+                cohort_mode, cohort_dtype,
             )
             results = executor.map(_build_config_task, range(n_configs), payload=payload)
         errors = np.empty((n_configs, len(ckpts), n_clients))

@@ -165,6 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cohort-dtype",
+        choices=("float64", "float32"),
+        default=None,
+        help=(
+            "slab compute dtype for cohort/fused training: 'float64' is the "
+            "bit-exact serial-equivalence reference, 'float32' halves slab "
+            "memory at documented tolerance (default: $REPRO_DTYPE, else "
+            "float64)"
+        ),
+    )
+    parser.add_argument(
         "--checkpoint-dir",
         default=None,
         help=(
@@ -263,6 +274,7 @@ def main(argv: List[str] = None) -> int:
         cache_dir=args.cache_dir,
         n_workers=args.workers,
         cohort_mode=args.cohort_mode,
+        cohort_dtype=args.cohort_dtype,
         checkpoint_dir=args.checkpoint_dir,
         # figfaults seeds each sweep point itself (base_faults above);
         # the method-comparison figures run their whole sweep under the

@@ -21,6 +21,8 @@ from repro.utils.rng import RngFactory
 # REPRO_BANK_CACHE — directory for the disk-backed bank store.
 # REPRO_WORKERS — worker-process count for parallel bank builds.
 # REPRO_COHORT_VECTOR — vectorized lockstep cohort training (repro.fl.cohort).
+# REPRO_DTYPE — slab compute dtype ("float64"/"float32"; repro.nn.backend).
+# REPRO_BACKEND — array backend for slab kernels (repro.nn.backend).
 # REPRO_CHECKPOINT_DIR — directory for tuning-run checkpoints (repro.engine.checkpoint).
 # REPRO_FAULTS — fault-injection spec, e.g. "dropout=0.1,straggler=0.05,seed=3"
 #   (repro.engine.faults.FaultConfig.parse).
@@ -71,6 +73,12 @@ class ExperimentContext:
         (:mod:`repro.fl.fused`). Non-serial modes join the bank-store
         cache key, since lockstep padding can perturb results at float
         tolerance.
+    cohort_dtype : slab compute dtype ("float64" or "float32") for every
+        trainer this context builds (``$REPRO_DTYPE`` when unset; see
+        :mod:`repro.nn.backend`). float32 halves slab memory at
+        documented tolerance; float64 stays the bit-exact reference.
+        Non-default dtypes (and non-NumPy backends) join the bank-store
+        cache key so precision variants never alias.
     checkpoint_dir : directory for tuning-run checkpoints
         (:mod:`repro.engine.checkpoint`); online drivers save each run's
         state here and — with ``resume`` enabled — pick interrupted runs
@@ -93,6 +101,7 @@ class ExperimentContext:
         cache_dir: Optional[str] = None,
         n_workers: Optional[int] = None,
         cohort_mode: Optional[str] = None,
+        cohort_dtype=None,
         checkpoint_dir: Optional[str] = None,
         faults=None,
     ):
@@ -100,6 +109,7 @@ class ExperimentContext:
         from repro.engine.executor import SerialExecutor, make_executor
         from repro.engine.faults import FaultConfig, FaultPlan
         from repro.fl.cohort import resolve_cohort_mode
+        from repro.nn.backend import resolve_dtype
 
         self.preset = preset
         self.scale: DatasetScale = get_scale(preset)
@@ -108,6 +118,7 @@ class ExperimentContext:
         self.clients_per_round = clients_per_round
         self.eta = eta
         self.cohort_mode = resolve_cohort_mode(cohort_mode)
+        self.cohort_dtype = resolve_dtype(cohort_dtype)
         self.rngs = RngFactory(seed)
         self.space: SearchSpace = paper_space(batch_sizes=BATCH_CHOICES[preset])
         shared_rng = self.rngs.make("shared-configs")
@@ -177,15 +188,25 @@ class ExperimentContext:
         degrades to "vectorized" under a multi-worker executor, and those
         builds are bit-identical, so they share one entry. Serial keys
         stay unchanged (pre-vectorization caches remain valid); every
-        non-serial mode gets its own entries.
+        non-serial mode gets its own entries. The same conditional-field
+        pattern stamps the slab dtype and array backend: float64-on-NumPy
+        builds keep their historical keys, while a float32 (or non-NumPy)
+        build can never alias a float64 cache entry.
         """
         from repro.engine.bank_store import BankStore
         from repro.experiments.bank import effective_build_mode
+        from repro.nn.backend import get_backend
 
         extra = {}
         mode = effective_build_mode(self.cohort_mode, self.executor)
         if mode != "serial":
             extra["cohort_mode"] = mode
+        dtype_name = self.cohort_dtype.name if hasattr(self.cohort_dtype, "name") else str(self.cohort_dtype)
+        if dtype_name != "float64":
+            extra["cohort_dtype"] = dtype_name
+        backend_name = get_backend().name
+        if backend_name != "numpy":
+            extra["backend"] = backend_name
         return BankStore.key_fields(
             dataset=name,
             preset=self.preset,
@@ -219,6 +240,7 @@ class ExperimentContext:
             store_params=store_params,
             executor=self.executor,
             cohort_mode=self.cohort_mode,
+            cohort_dtype=self.cohort_dtype,
         )
 
     def grid(self, name: str) -> List[int]:

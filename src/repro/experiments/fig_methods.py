@@ -138,6 +138,7 @@ def make_tuner(
         # workers; parallel execution is bit-identical to serial.
         executor=ctx.executor,
         cohort_mode=ctx.cohort_mode,
+        cohort_dtype=ctx.cohort_dtype,
     )
     budget = total_budget if total_budget is not None else ctx.total_budget
     cls = METHODS[method]

@@ -27,8 +27,12 @@ Equivalence contract (asserted in ``tests/fl/test_cohort.py`` and
 - **RNG stream.** Batch permutations are pre-drawn from the shared trainer
   RNG in exactly the order the serial loop draws them (client by client,
   epoch by epoch), and Dropout masks are pre-drawn from each layer's own
-  generator in serial visit order (:class:`~repro.nn.stacked.StackedDropout`),
-  so every generator's end state is identical to the serial path's.
+  generator in serial visit order (:class:`~repro.nn.stacked.StackedDropout`).
+  When a model's Dropout layers share one generator object, the whole
+  round's masks are instead drawn eagerly in the serial *interleaved*
+  order — client, step, layer in forward order — and installed per layer
+  (:meth:`SlabTrainer._predraw_interleaved`). Either way every
+  generator's end state is identical to the serial path's.
 - **Trajectories.** Per-step, per-client math matches the serial
   :class:`~repro.fl.client.ClientTrainer` kernel for kernel. When every
   active row's batch at a lockstep step has equal size (no padding),
@@ -56,8 +60,8 @@ import os
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
-
+from repro.nn.backend import resolve_dtype
+from repro.nn.backend import xp as np
 from repro.datasets.base import ClientData, TaskSpec
 from repro.nn.module import Module
 from repro.nn.optim import fused_sgd_step
@@ -139,9 +143,17 @@ class SlabTrainer:
     across trials): the stacked model, its slab, the velocity buffer, and
     the batch-assembly buffers are allocated once and grown on demand via
     :meth:`ensure_capacity`.
+
+    ``dtype`` is the slab compute dtype
+    (:func:`repro.nn.backend.resolve_dtype`): float64 (default) is the
+    bit-exact serial reference; float32 halves slab memory and also pulls
+    floating batch data down to float32 so no kernel silently upcasts
+    mid-pipeline. RNG pre-draws (permutations, Dropout masks) always
+    consume the generators' native float64 stream regardless, preserving
+    serial RNG-state equivalence in every dtype.
     """
 
-    def __init__(self, task: TaskSpec, template: Module, capacity: int):
+    def __init__(self, task: TaskSpec, template: Module, capacity: int, dtype=None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         stacked_loss = STACKED_LOSSES.get(task.loss_fn)
@@ -153,6 +165,7 @@ class SlabTrainer:
             )
         self.task = task
         self.template = template
+        self.dtype = resolve_dtype(dtype)
         self._loss = stacked_loss
         self.capacity = 0
         self._stacked: Optional[StackedModel] = None
@@ -183,7 +196,7 @@ class SlabTrainer:
         """Grow the slab (and every row-shaped buffer) to hold ``rows``."""
         if rows <= self.capacity:
             return
-        self._stacked = StackedModel(self.template, rows)
+        self._stacked = StackedModel(self.template, rows, dtype=self.dtype)
         self._dropouts = [
             layer
             for layer in self._stacked.layers
@@ -196,22 +209,89 @@ class SlabTrainer:
         self._xbuf = self._ybuf = self._mbuf = None
 
     # -- internals -----------------------------------------------------------
+    def _data_dtype(self, dt):
+        """Batch-data dtype policy: in reduced-precision mode, floating
+        batch data follows the slab dtype (casting once at assembly keeps
+        every kernel in one precision); integer labels/ids — and all data
+        in the float64 reference mode — pass through unchanged."""
+        if self.dtype != np.float64 and np.issubdtype(dt, np.floating):
+            return self.dtype
+        return dt
+
     def _ensure_batch_buffers(self, x0: np.ndarray, y0: np.ndarray, width: int) -> None:
         # Grow-only: a buffer at least `width` wide is sliced per step, so
         # alternating round widths never thrash allocations.
+        xdt = self._data_dtype(x0.dtype)
+        ydt = self._data_dtype(y0.dtype)
         if (
             self._xbuf is None
-            or self._xbuf.dtype != x0.dtype
+            or self._xbuf.dtype != xdt
             or self._xbuf.shape[0] < self.capacity
             or self._xbuf.shape[1] < width
             or self._xbuf.shape[2:] != x0.shape[1:]
             or self._ybuf.shape[2:] != y0.shape[1:]
-            or self._ybuf.dtype != y0.dtype
+            or self._ybuf.dtype != ydt
         ):
             width = max(width, self._xbuf.shape[1] if self._xbuf is not None else 0)
-            self._xbuf = np.empty((self.capacity, width) + x0.shape[1:], dtype=x0.dtype)
-            self._ybuf = np.empty((self.capacity, width) + y0.shape[1:], dtype=y0.dtype)
-            self._mbuf = np.empty((self.capacity, width), dtype=np.float64)
+            self._xbuf = np.empty((self.capacity, width) + x0.shape[1:], dtype=xdt)
+            self._ybuf = np.empty((self.capacity, width) + y0.shape[1:], dtype=ydt)
+            self._mbuf = np.empty((self.capacity, width), dtype=self.dtype)
+
+    def _probe_dropout_shapes(self, client: ClientData) -> List[tuple]:
+        """Feature shape each active Dropout layer sees, learned from a
+        one-example forward with every layer's shape probe armed
+        (:meth:`~repro.nn.stacked.StackedDropout.begin_shape_probe`) — no
+        masks drawn, no generator consumed, no gradients touched (the
+        probe never runs backward), and every forward cache is overwritten
+        by the round's first real step."""
+        for layer in self._dropouts:
+            layer.begin_shape_probe()
+        self._stacked.forward(client.x[:1][None])
+        shapes = []
+        for layer in self._dropouts:
+            if layer.probe_shape is None:
+                raise RuntimeError("shape probe did not reach a Dropout layer")
+            shapes.append(layer.probe_shape)
+        return shapes
+
+    def _predraw_interleaved(
+        self, groups, clients_flat, schedule, pos_of_row, row_base, n_rows
+    ) -> None:
+        """Eagerly draw the round's Dropout masks in the serial
+        *interleaved* order — client (group by group, cohort order
+        within), local step, layer in forward order — and install each
+        layer's finished stream (:meth:`StackedDropout.install_masks`).
+
+        This is the shared-generator mode: when several layers draw from
+        one generator object, the serial loop's consumption of that
+        stream alternates between layers within every step, which the
+        per-layer lazy plans cannot reproduce. Drawing here in exactly
+        the serial order keeps both mask values and the generator's end
+        state bit-identical to the serial path — also for groups whose
+        generators are disjoint, since restricting the interleaved order
+        to a single stream yields that stream's per-layer order.
+        """
+        feat_shapes = self._probe_dropout_shapes(clients_flat[0])
+        keeps = [1.0 - layer.rate for layer in self._dropouts]
+        n_layers = len(self._dropouts)
+        all_masks: List[List[Optional[List[np.ndarray]]]] = [
+            [None] * n_rows for _ in range(n_layers)
+        ]
+        for gi, group in enumerate(groups):
+            for ci in range(len(group.clients)):
+                pos = int(pos_of_row[row_base[gi] + ci])
+                per_layer: List[List[np.ndarray]] = [[] for _ in range(n_layers)]
+                for _, _, b in schedule[pos]:
+                    for d_idx in range(n_layers):
+                        rng = group.dropout_rngs[d_idx]
+                        per_layer[d_idx].append(
+                            (rng.random((b,) + feat_shapes[d_idx]) < keeps[d_idx])
+                            / keeps[d_idx]
+                        )
+                for d_idx in range(n_layers):
+                    all_masks[d_idx][pos] = per_layer[d_idx]
+        for d_idx, layer in enumerate(self._dropouts):
+            layer.install_masks(all_masks[d_idx])
 
     def train_groups(self, groups: Sequence[SlabGroup], outs: Sequence[np.ndarray]) -> List[bool]:
         """Run every group's local training in one lockstep slab.
@@ -294,8 +374,14 @@ class SlabTrainer:
         if uniform_schedule:
             n_ex, u_bsz, u_epochs = int(ns[0]), groups[0].batch_size, groups[0].epochs
             first = clients_flat[0]
-            stacked_x = np.empty((n_rows, u_epochs * n_ex) + first.x.shape[1:], dtype=first.x.dtype)
-            stacked_y = np.empty((n_rows, u_epochs * n_ex) + first.y.shape[1:], dtype=first.y.dtype)
+            stacked_x = np.empty(
+                (n_rows, u_epochs * n_ex) + first.x.shape[1:],
+                dtype=self._data_dtype(first.x.dtype),
+            )
+            stacked_y = np.empty(
+                (n_rows, u_epochs * n_ex) + first.y.shape[1:],
+                dtype=self._data_dtype(first.y.dtype),
+            )
             for r in range(n_rows):
                 client = clients_flat[r]
                 pos = pos_of_row[r]
@@ -339,7 +425,10 @@ class SlabTrainer:
             v0 = getattr(groups[0], attr)
             if all(getattr(g, attr) == v0 for g in groups[1:]):
                 return v0
-            return np.array([getattr(groups[gi], attr) for gi in group_of_pos])
+            # Slab-dtype vector: under weak scalar promotion the scalar
+            # path computes in the slab dtype too, so scalar and vector
+            # rows stay bit-consistent in every precision.
+            return np.array([getattr(groups[gi], attr) for gi in group_of_pos], dtype=self.dtype)
 
         def hp_slice(hp, k):
             return hp[:k] if isinstance(hp, np.ndarray) else hp
@@ -356,9 +445,9 @@ class SlabTrainer:
         model.train()
         slab, gslab = model.slab, model.grad_slab
         if n_groups == 1:
-            slab[:n_rows] = np.asarray(groups[0].start, dtype=np.float64)
+            slab[:n_rows] = np.asarray(groups[0].start, dtype=slab.dtype)
         else:
-            starts = np.stack([np.asarray(g.start, dtype=np.float64) for g in groups])
+            starts = np.stack([np.asarray(g.start, dtype=slab.dtype) for g in groups])
             slab[:n_rows] = starts[group_of_pos]
         if mom_any:
             if self._velocity is None:
@@ -380,16 +469,27 @@ class SlabTrainer:
         # Dropout mask pre-draw plans: per stacked layer, entries in serial
         # visit order (group by group, cohort order within) pointing at the
         # row's sorted slab position. Masks are drawn lazily at the round's
-        # first forward (see StackedDropout).
+        # first forward (see StackedDropout) — unless any group's layers
+        # share one generator object, where the serial stream interleaves
+        # across layers and the whole round must be drawn eagerly here.
         if self._dropouts:
-            for d_idx, layer in enumerate(self._dropouts):
-                plan = []
-                for gi, group in enumerate(groups):
-                    rng = group.dropout_rngs[d_idx]
-                    for ci in range(len(group.clients)):
-                        pos = int(pos_of_row[row_base[gi] + ci])
-                        plan.append((rng, [b for _, _, b in schedule[pos]], pos))
-                layer.begin_round(plan)
+            shared_rng = any(
+                len({id(r) for r in g.dropout_rngs}) < len(g.dropout_rngs)
+                for g in groups
+            )
+            if shared_rng:
+                self._predraw_interleaved(
+                    groups, clients_flat, schedule, pos_of_row, row_base, n_rows
+                )
+            else:
+                for d_idx, layer in enumerate(self._dropouts):
+                    plan = []
+                    for gi, group in enumerate(groups):
+                        rng = group.dropout_rngs[d_idx]
+                        for ci in range(len(group.clients)):
+                            pos = int(pos_of_row[row_base[gi] + ci])
+                            plan.append((rng, [b for _, _, b in schedule[pos]], pos))
+                    layer.begin_round(plan)
 
         failed = [False] * n_groups
         n_failed = 0
@@ -506,6 +606,7 @@ class CohortTrainer:
         batch_size: int = 32,
         epochs: int = 1,
         prox_mu: float = 0.0,
+        dtype=None,
     ):
         if cohort_size < 1:
             raise ValueError(f"cohort_size must be >= 1, got {cohort_size}")
@@ -517,7 +618,8 @@ class CohortTrainer:
         self.batch_size = batch_size
         self.epochs = epochs
         self.prox_mu = prox_mu
-        self._slab = SlabTrainer(task, template, cohort_size)
+        self._slab = SlabTrainer(task, template, cohort_size, dtype=dtype)
+        self.dtype = self._slab.dtype
         self._dropout_rngs = collect_dropout_rngs(template)
 
     @staticmethod

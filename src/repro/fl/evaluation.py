@@ -32,7 +32,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.nn.backend import resolve_dtype
+from repro.nn.backend import xp as np
 
 from repro.datasets.base import (
     ClientData,
@@ -289,11 +290,18 @@ class StackedEvalEngine:
     just trained, so a train-then-evaluate cycle never unstacks and
     restacks parameters. One engine instance per runner/pool is the
     intended granularity; slabs are reused across calls.
+
+    ``dtype`` fixes the engine's slab compute dtype
+    (:func:`repro.nn.backend.resolve_dtype`); a borrowed slab is only
+    accepted when its dtype matches, so a float32 training slab never
+    silently changes the precision of a float64 evaluation (or vice
+    versa).
     """
 
     _CAPACITY = 8  # distinct architectures kept
 
-    def __init__(self) -> None:
+    def __init__(self, dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
         self._models: "OrderedDict[tuple, StackedModel]" = OrderedDict()
 
     def _model_for(
@@ -303,11 +311,15 @@ class StackedEvalEngine:
         rows: int,
         borrowed: Optional[StackedModel] = None,
     ) -> StackedModel:
-        if borrowed is not None and borrowed.n_copies >= rows:
+        if (
+            borrowed is not None
+            and borrowed.n_copies >= rows
+            and borrowed.dtype == self.dtype
+        ):
             return borrowed
         cached = self._models.get(signature)
         if cached is None or cached.n_copies < rows:
-            cached = StackedModel(template, rows)
+            cached = StackedModel(template, rows, dtype=self.dtype)
             self._models[signature] = cached
             if len(self._models) > self._CAPACITY:
                 self._models.popitem(last=False)

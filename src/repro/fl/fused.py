@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.nn.backend import resolve_dtype
 from repro.fl.cohort import SlabGroup, SlabTrainer
 from repro.fl.evaluation import StackedEvalEngine, fused_group_rates
 from repro.fl.trainer import FederatedTrainer
@@ -53,18 +54,26 @@ class FusedTrainerPool:
     through one inference slab — borrowing the training slab the batch
     just used, so a train→evaluate rung cycle never unstacks and restacks
     parameters.
+
+    ``dtype`` is the pool's default slab compute dtype
+    (:func:`repro.nn.backend.resolve_dtype`); each group's slab is built
+    in its trainers' own ``cohort_dtype``, and the dtype name joins the
+    grouping key so mixed-precision batches never share a slab.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dtype=None) -> None:
+        self.dtype = resolve_dtype(dtype)
         self._slabs: Dict[tuple, SlabTrainer] = {}
         self._eval_engine: Optional[StackedEvalEngine] = None
 
-    def stacked_model(self, key: tuple, rows: int) -> Optional[StackedModel]:
+    def stacked_model(self, key: tuple, rows: int, dtype=None) -> Optional[StackedModel]:
         """The training slab's model for ``key`` when it can already hold
         ``rows`` copies (else ``None``) — the borrow handle fused
         evaluation uses. ``key`` is the ``(stack_signature, loss_fn)``
-        grouping key of :meth:`advance`."""
-        slab = self._slabs.get(key)
+        pair of :meth:`advance`'s grouping key; the dtype completing the
+        full slab key defaults to the pool's."""
+        full_key = key + (np.dtype(dtype if dtype is not None else self.dtype).name,)
+        slab = self._slabs.get(full_key)
         if slab is not None and slab.capacity >= rows:
             return slab.stacked_model
         return None
@@ -73,11 +82,11 @@ class FusedTrainerPool:
         """Per-validation-client error rates for every trainer, fused.
 
         Same-architecture trainers (grouped by
-        :func:`~repro.nn.stacked.eval_stack_signature`, which also admits
-        models whose *training* falls back to serial, e.g. shared-generator
-        Dropout) evaluate as one stacked inference sweep over the pool's
-        cached chunk plan; singleton groups and unstackable models use the
-        serial :meth:`~repro.fl.trainer.FederatedTrainer.eval_error_rates`.
+        :func:`~repro.nn.stacked.eval_stack_signature`, which ignores
+        training-only concerns such as Dropout RNG wiring) evaluate as one
+        stacked inference sweep over the pool's cached chunk plan;
+        singleton groups and unstackable models use the serial
+        :meth:`~repro.fl.trainer.FederatedTrainer.eval_error_rates`.
         Per trainer the result is bit-identical to the serial call.
         """
         results: List[Optional[np.ndarray]] = [None] * len(trainers)
@@ -87,7 +96,7 @@ class FusedTrainerPool:
         for members in by_dataset.values():
             dataset = trainers[members[0]].dataset
             if self._eval_engine is None:
-                self._eval_engine = StackedEvalEngine()
+                self._eval_engine = StackedEvalEngine(dtype=self.dtype)
             rates = fused_group_rates(
                 self._eval_engine,
                 [trainers[i].model for i in members],
@@ -124,7 +133,12 @@ class FusedTrainerPool:
             if signature is None or trainer.dataset.task.loss_fn not in STACKED_LOSSES:
                 solo.append(i)
                 continue
-            groups.setdefault((signature, trainer.dataset.task.loss_fn), []).append(i)
+            dtype_name = np.dtype(
+                getattr(trainer, "cohort_dtype", self.dtype)
+            ).name
+            groups.setdefault(
+                (signature, trainer.dataset.task.loss_fn, dtype_name), []
+            ).append(i)
         for key, members in groups.items():
             if len(members) == 1:
                 solo.extend(members)
@@ -155,6 +169,7 @@ class FusedTrainerPool:
                     trainers[0].dataset.task,
                     trainers[0].model,
                     sum(t.clients_per_round for t in trainers),
+                    dtype=getattr(trainers[0], "cohort_dtype", self.dtype),
                 )
             except Exception as exc:
                 # First degradation step: no cross-trial slab, but each

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.datasets.base import FederatedDataset
 from repro.fl.client import ClientTrainer
+from repro.nn.backend import resolve_dtype
 from repro.fl.cohort import CohortTrainer, resolve_cohort_mode
 from repro.fl.evaluation import client_error_rates, evaluate_model
 from repro.fl.sampling import UniformSampler
@@ -79,6 +80,12 @@ class FederatedTrainer:
         (default serial). Models without stacked kernels and rounds with
         diverging clients automatically fall back to the serial path;
         ``cohort_mode_effective`` reports the path actually in use.
+    cohort_dtype : slab compute dtype for the vectorized/fused paths
+        (:func:`repro.nn.backend.resolve_dtype`; ``None`` resolves
+        ``$REPRO_DTYPE``, default float64). float32 halves slab memory at
+        a documented per-round tolerance vs the float64 reference. Global
+        parameters, aggregation, the server optimizer, and the serial
+        path (including the divergence fallback) stay float64 always.
     """
 
     def __init__(
@@ -90,6 +97,7 @@ class FederatedTrainer:
         scheme: str = "weighted",
         seed: SeedLike = 0,
         cohort_mode: Optional[str] = None,
+        cohort_dtype=None,
     ):
         if clients_per_round < 1:
             raise ValueError(f"clients_per_round must be >= 1, got {clients_per_round}")
@@ -124,6 +132,7 @@ class FederatedTrainer:
         self.fault_key = None
         self.participation = None
         self.cohort_mode = resolve_cohort_mode(cohort_mode)
+        self.cohort_dtype = resolve_dtype(cohort_dtype)
         # The per-trainer slab is built lazily on the first standalone
         # round: trials advanced through the fused pool never touch it, so
         # a fused rung does not pay one (C, P) slab per trial.
@@ -249,6 +258,7 @@ class FederatedTrainer:
                 batch_size=local.batch_size,
                 epochs=local.epochs,
                 prox_mu=local.prox_mu,
+                dtype=self.cohort_dtype,
             )
         if self._cohort_trainer is not None:
             trained = self._cohort_trainer.train_cohort(

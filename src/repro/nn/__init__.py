@@ -12,10 +12,27 @@ Design notes
 - Models expose flat-vector parameter access (:func:`get_flat_params` /
   :func:`set_flat_params`) because federated aggregation operates on flat
   parameter/pseudo-gradient vectors.
-- Everything is float64: the workloads are tiny and exact gradients make the
-  library testable with numerical differentiation.
+- Serial layers are float64: the workloads are tiny and exact gradients make
+  the library testable with numerical differentiation. The stacked slab
+  kernels route their array ops through :mod:`repro.nn.backend` — a thin
+  array-namespace shim with a capability probe — so an alternate backend
+  (CuPy, torch) or an opt-in float32 slab dtype (``$REPRO_DTYPE``) drops in
+  without touching kernel code; float64-on-NumPy stays the bit-exact
+  serial-equivalence reference.
 """
 
+from repro.nn.backend import (
+    BACKEND_ENV,
+    DTYPE_ENV,
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_dtype,
+    set_backend,
+    use_backend,
+    xp,
+)
 from repro.nn.module import (
     Module,
     Parameter,
@@ -75,6 +92,16 @@ from repro.nn.gradcheck import gradcheck_module, numerical_gradient
 from repro.nn.serialization import load_params, save_params
 
 __all__ = [
+    "BACKEND_ENV",
+    "DTYPE_ENV",
+    "ArrayBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_dtype",
+    "set_backend",
+    "use_backend",
+    "xp",
     "Module",
     "Parameter",
     "Sequential",

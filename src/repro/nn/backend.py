@@ -1,0 +1,333 @@
+"""Array-namespace shim: the backend seam under every slab kernel.
+
+All stacked kernels (:mod:`repro.nn.stacked`), the fused optimizer
+(:mod:`repro.nn.optim`), the cohort slab trainer
+(:mod:`repro.fl.cohort`), and the stacked eval engine
+(:mod:`repro.fl.evaluation`) obtain their array operations through the
+module-level :data:`xp` proxy exported here instead of importing NumPy
+directly. ``xp`` resolves attribute access against the *active* backend's
+namespace at call time, so swapping the backend redirects every kernel
+without touching kernel code.
+
+A backend is an :class:`ArrayBackend`: a namespace object (``numpy``,
+``cupy``, or any module exposing the NumPy API) plus per-backend policy —
+default compute dtype, an RNG adapter (how to turn a seed into a
+generator whose draws land on that backend), and host transfer hooks.
+Candidate namespaces are vetted by an explicit capability probe
+(:func:`probe_capabilities` over :data:`REQUIRED_OPS`): a namespace
+missing ops the kernels call is rejected up front by
+:meth:`ArrayBackend.require`, not discovered mid-round by an
+``AttributeError`` deep inside a training loop.
+
+Precision is a separate, orthogonal axis: :func:`resolve_dtype` maps an
+explicit ``dtype`` argument, the ``$REPRO_DTYPE`` environment variable,
+or the backend's default (float64) to the slab compute dtype. float64 is
+the bit-exact serial-equivalence reference; float32 halves slab memory
+and trades bit-exactness for a documented per-round tolerance (see
+README "Backends & precision").
+
+Scratch-buffer convention for kernel authors: allocate scratch with
+``xp.empty(..., dtype=<input>.dtype)`` (never a bare ``np.float64``) and
+prefer ``out=`` ufunc forms — both keep float32 slabs float32 end-to-end
+and keep kernels allocation-free on reuse, which is what a GPU backend
+needs to avoid per-step allocator churn.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy
+
+#: Environment variable selecting the active backend by registry name.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Environment variable selecting the slab compute dtype ("float64" or
+#: "float32") when no explicit ``dtype``/``cohort_dtype`` argument wins.
+DTYPE_ENV = "REPRO_DTYPE"
+
+#: Slab compute dtypes the engine supports.
+SUPPORTED_DTYPES = ("float64", "float32")
+
+#: Dotted op names the slab kernels call through ``xp``. The probe
+#: resolves each by attribute traversal on the candidate namespace; a
+#: backend failing any of these cannot run the kernels and is rejected
+#: by :meth:`ArrayBackend.require`.
+REQUIRED_OPS = (
+    "ndarray",
+    "dtype",
+    "empty",
+    "zeros",
+    "ones",
+    "empty_like",
+    "zeros_like",
+    "asarray",
+    "ascontiguousarray",
+    "stack",
+    "concatenate",
+    "repeat",
+    "arange",
+    "matmul",
+    "einsum",
+    "maximum",
+    "exp",
+    "log",
+    "tanh",
+    "sqrt",
+    "abs",
+    "clip",
+    "where",
+    "isfinite",
+    "errstate",
+    "issubdtype",
+    "floating",
+    "float64",
+    "float32",
+    "add.at",
+    "add.reduceat",
+    "maximum.reduceat",
+    "random.default_rng",
+)
+
+
+def probe_capabilities(namespace) -> Dict[str, bool]:
+    """Map each :data:`REQUIRED_OPS` entry to whether ``namespace`` has it.
+
+    Dotted names traverse attributes (``"add.at"`` → ``namespace.add.at``),
+    so ufunc methods and submodule functions probe the same way.
+    """
+    caps: Dict[str, bool] = {}
+    for op in REQUIRED_OPS:
+        target = namespace
+        ok = True
+        for part in op.split("."):
+            target = getattr(target, part, None)
+            if target is None:
+                ok = False
+                break
+        caps[op] = ok
+    return caps
+
+
+def _numpy_make_rng(seed=None):
+    return numpy.random.default_rng(seed)
+
+
+class ArrayBackend:
+    """One pluggable array namespace plus its policy hooks.
+
+    Parameters
+    ----------
+    name : registry name ("numpy", "cupy", ...).
+    xp : the namespace object all kernel array ops route through.
+    default_dtype : compute dtype when neither an explicit argument nor
+        ``$REPRO_DTYPE`` selects one. float64 everywhere today — it is
+        the serial-equivalence reference.
+    make_rng : seed -> generator adapter. The default returns a host
+        NumPy ``Generator``; device backends override this to return a
+        generator whose draws materialize on-device (mask/perm pre-draw
+        stays on the host path regardless, to preserve serial RNG-stream
+        equivalence).
+    to_numpy : device array -> host ndarray hook (identity for NumPy).
+    """
+
+    __slots__ = ("name", "xp", "default_dtype", "make_rng", "to_numpy", "_caps")
+
+    def __init__(
+        self,
+        name: str,
+        xp,
+        default_dtype: str = "float64",
+        make_rng: Optional[Callable] = None,
+        to_numpy: Optional[Callable] = None,
+    ):
+        if default_dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"default_dtype must be one of {SUPPORTED_DTYPES}, got {default_dtype!r}"
+            )
+        self.name = name
+        self.xp = xp
+        self.default_dtype = default_dtype
+        self.make_rng = make_rng if make_rng is not None else _numpy_make_rng
+        self.to_numpy = to_numpy if to_numpy is not None else (lambda a: numpy.asarray(a))
+        self._caps: Optional[Dict[str, bool]] = None
+
+    @property
+    def capabilities(self) -> Dict[str, bool]:
+        """Probe results over :data:`REQUIRED_OPS` (computed once)."""
+        if self._caps is None:
+            self._caps = probe_capabilities(self.xp)
+        return self._caps
+
+    @property
+    def missing_ops(self) -> Tuple[str, ...]:
+        """Required ops the namespace does not provide."""
+        return tuple(op for op, ok in self.capabilities.items() if not ok)
+
+    def require(self) -> "ArrayBackend":
+        """Raise unless the namespace passes the capability probe."""
+        missing = self.missing_ops
+        if missing:
+            raise RuntimeError(
+                f"backend {self.name!r} is missing required array ops: "
+                f"{', '.join(missing)} — the slab kernels cannot run on it"
+            )
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArrayBackend(name={self.name!r}, default_dtype={self.default_dtype!r})"
+
+
+def _make_numpy_backend() -> ArrayBackend:
+    return ArrayBackend("numpy", numpy)
+
+
+def _make_cupy_backend() -> ArrayBackend:
+    try:
+        import cupy  # noqa: F401 - optional dependency, never vendored
+    except ImportError as exc:  # pragma: no cover - cupy not installed here
+        raise RuntimeError(
+            "backend 'cupy' requires the cupy package, which is not "
+            "installed in this environment"
+        ) from exc
+    return ArrayBackend(
+        "cupy",
+        cupy,
+        make_rng=lambda seed=None: cupy.random.default_rng(seed),
+        to_numpy=lambda a: cupy.asnumpy(a),
+    )
+
+
+def _make_torch_backend() -> ArrayBackend:
+    try:
+        import torch  # noqa: F401 - optional dependency, never vendored
+    except ImportError as exc:  # pragma: no cover - torch not installed here
+        raise RuntimeError(
+            "backend 'torch' requires the torch package, which is not "
+            "installed in this environment"
+        ) from exc
+    # torch's top-level namespace is close to — but not — the NumPy API
+    # (no errstate, no ufunc .at/.reduceat); require() reports exactly
+    # which seams still need an adapter layer rather than failing inside
+    # a kernel.
+    return ArrayBackend("torch", torch)
+
+
+_FACTORIES: Dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": _make_numpy_backend,
+    "cupy": _make_cupy_backend,
+    "torch": _make_torch_backend,
+}
+
+_active: Optional[ArrayBackend] = None
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    The factory is called lazily on first :func:`set_backend`/
+    :func:`get_backend` resolution and must return an
+    :class:`ArrayBackend`; capability validation happens at activation.
+    """
+    _FACTORIES[str(name)] = factory
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backend names (registration, not importability)."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend() -> ArrayBackend:
+    """The active backend, lazily initialized from ``$REPRO_BACKEND``
+    (default "numpy")."""
+    global _active
+    if _active is None:
+        name = os.environ.get(BACKEND_ENV) or "numpy"
+        _active = _resolve(name).require()
+    return _active
+
+
+def _resolve(name: str) -> ArrayBackend:
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; registered: {', '.join(available_backends())}"
+        )
+    backend = factory()
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"backend factory {name!r} returned {type(backend).__name__}, "
+            "not ArrayBackend"
+        )
+    return backend
+
+
+def set_backend(backend) -> ArrayBackend:
+    """Activate a backend by registry name or :class:`ArrayBackend`.
+
+    The capability probe runs before activation, so a namespace that
+    cannot run the kernels never becomes active. Returns the activated
+    backend.
+    """
+    global _active
+    if isinstance(backend, str):
+        backend = _resolve(backend)
+    elif not isinstance(backend, ArrayBackend):
+        raise TypeError(f"expected backend name or ArrayBackend, got {type(backend).__name__}")
+    _active = backend.require()
+    return _active
+
+
+class use_backend:
+    """Context manager: activate a backend for the ``with`` block, then
+    restore whatever was active before (including "not yet resolved")."""
+
+    def __init__(self, backend):
+        self._backend = backend
+        self._prev: Optional[ArrayBackend] = None
+
+    def __enter__(self) -> ArrayBackend:
+        global _active
+        self._prev = _active
+        return set_backend(self._backend)
+
+    def __exit__(self, *exc) -> None:
+        global _active
+        _active = self._prev
+
+
+def resolve_dtype(dtype=None) -> "numpy.dtype":
+    """The slab compute dtype: explicit argument > ``$REPRO_DTYPE`` >
+    backend default (float64). Returns a ``numpy.dtype``; anything
+    outside :data:`SUPPORTED_DTYPES` raises ``ValueError``."""
+    if dtype is None:
+        dtype = os.environ.get(DTYPE_ENV) or None
+    if dtype is None:
+        dtype = get_backend().default_dtype
+    dt = numpy.dtype(dtype)
+    if dt.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported slab dtype {dt.name!r}; supported: {SUPPORTED_DTYPES}"
+        )
+    return dt
+
+
+class _ActiveNamespace:
+    """Module-level proxy the kernels import as ``np``: every attribute
+    lookup lands on the active backend's namespace, so a backend switch
+    redirects already-imported kernel modules."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name):
+        return getattr(get_backend().xp, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<xp -> {get_backend().name}>"
+
+
+#: The array namespace all slab kernels use (``from repro.nn.backend
+#: import xp as np``). Attribute access resolves against the active
+#: backend at call time.
+xp = _ActiveNamespace()

@@ -3,14 +3,19 @@
 The paper's client optimizer is SGD with momentum and weight decay
 (Appendix B); Adam is included both for completeness and because the server
 FedAdam update reuses its moment arithmetic (see :mod:`repro.fl.server`).
+
+The fused slab kernels (:func:`fused_sgd_step`, :class:`FlatSGD`,
+:func:`copy_slab_rows`, :func:`perturb_rows`) obtain their array ops
+through the :mod:`repro.nn.backend` shim and are dtype-polymorphic: the
+buffers they receive carry the slab's compute dtype, and scalar
+hyperparameters stay in that dtype under NumPy's weak scalar promotion.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Union
 
-import numpy as np
-
+from repro.nn.backend import xp as np
 from repro.nn.module import Module, Parameter
 
 #: A hyperparameter that is either one scalar for the whole buffer or a
@@ -218,7 +223,10 @@ def perturb_rows(
     domain without per-knob special cases.
     """
     rows = np.asarray(rows, dtype=np.intp)
-    factors = np.asarray(factors, dtype=np.float64)
+    factor_dtype = (
+        values.dtype if np.issubdtype(values.dtype, np.floating) else np.float64
+    )
+    factors = np.asarray(factors, dtype=factor_dtype)
     if factors.shape != rows.shape:
         raise ValueError(f"factors shape {factors.shape} != rows shape {rows.shape}")
     perturbed = values[rows] * factors

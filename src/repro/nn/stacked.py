@@ -35,19 +35,28 @@ RNG-consuming layers (Dropout) keep their serial stream through a
 per-step real batch sizes up front and draws every mask of the round in
 the exact order the serial loop would, so the generators' end states are
 identical (the same trick the cohort trainer uses for batch
-permutations). Integer-input (Embedding) and recurrent (LSTM) layers have
-stacked counterparts too, so the paper's text models train in lockstep.
-The one remaining refusal is a model whose Dropout layers *share* one
-generator object — per-layer pre-draw cannot reproduce the interleaved
-serial order then, and :func:`supports_stacking` reports False.
+permutations). Models whose Dropout layers *share* one generator object
+use the shared-generator mode instead: the trainer pre-draws the whole
+round's masks eagerly in the serial interleaved order (client → step →
+layer in forward order) and installs the finished streams via
+:meth:`StackedDropout.install_masks`, so :func:`supports_stacking` is a
+purely structural check — every model built from layers with stacked
+counterparts trains on the slab. Integer-input (Embedding) and recurrent
+(LSTM) layers have stacked counterparts too, so the paper's text models
+train in lockstep.
+
+Array ops route through the :mod:`repro.nn.backend` shim (``xp``), and
+the slab dtype is a :class:`StackedModel` policy (float64 default, the
+bit-exact serial reference; opt-in float32 halves slab memory). Scratch
+buffers follow the input's dtype so float32 never silently upcasts.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Type
 
-import numpy as np
-
+from repro.nn.backend import resolve_dtype
+from repro.nn.backend import xp as np
 from repro.nn.functional import col2im, im2col, log_softmax, softmax
 from repro.nn.layers import (
     Conv2D,
@@ -267,8 +276,10 @@ class StackedFlatten(Module):
 
 def _relu_eval(x: np.ndarray) -> np.ndarray:
     # Mirrors ReLU.forward exactly (copy + in-place bool-mask multiply),
-    # including its NaN/inf propagation for diverged models.
-    out = x.astype(np.float64, copy=True)
+    # including its NaN/inf propagation for diverged models. The compute
+    # dtype follows the slab (float32 slabs stay float32).
+    dt = x.dtype if np.issubdtype(x.dtype, np.floating) else np.float64
+    out = x.astype(dt, copy=True)
     out *= x > 0
     return out
 
@@ -320,6 +331,16 @@ class StackedDropout(Module):
     order, so every generator's end state is bit-identical to the serial
     path's. Padded tail rows of a ragged step multiply by 1.0 (identity);
     the loss mask removes them from gradients.
+
+    Shared-generator mode: when several Dropout layers draw from one
+    generator object, the serial draw order interleaves *across layers*
+    (client → step → layer in forward order), which per-layer lazy
+    pre-draw cannot reproduce. The trainer then draws every mask of the
+    round itself, in that interleaved order (using
+    :meth:`begin_shape_probe` to learn each layer's feature shape
+    without consuming RNG), and installs each layer's finished stream via
+    :meth:`install_masks` — forward consumes the installed masks exactly
+    as it would its own lazy draws.
     """
 
     def __init__(self, rate: float):
@@ -334,12 +355,37 @@ class StackedDropout(Module):
         self._step = 0
         self._mult: Optional[np.ndarray] = None
         self._mult_buf: Optional[np.ndarray] = None  # grow-only scratch
+        self._probe = False
+        #: Feature shape observed by the last shape probe (see
+        #: :meth:`begin_shape_probe`).
+        self.probe_shape: Optional[tuple] = None
 
     def begin_round(self, plan: Sequence[tuple]) -> None:
         """Install the round's draw plan (see class docstring) and drop
         any masks from the previous round."""
         self._plan = list(plan)
         self._masks = None
+        self._step = 0
+
+    def begin_shape_probe(self) -> None:
+        """Arm a one-shot shape probe: the next training forward records
+        ``x.shape[2:]`` into :attr:`probe_shape` and passes ``x`` through
+        untouched — no masks drawn, no generator consumed. The trainer
+        uses this to learn per-layer feature shapes before an eager
+        shared-generator pre-draw."""
+        self._probe = True
+        self.probe_shape = None
+
+    def install_masks(self, masks: Sequence[Optional[List[np.ndarray]]]) -> None:
+        """Install externally pre-drawn masks (shared-generator mode).
+
+        ``masks[slot][t]`` is the keep mask of copy ``slot`` at its local
+        step ``t``, already scaled by ``1/keep`` — exactly what
+        :meth:`_draw_masks` would have produced, but drawn by the trainer
+        in the serial interleaved order across all layers sharing a
+        generator."""
+        self._plan = []
+        self._masks = list(masks)
         self._step = 0
 
     def set_step(self, t: int) -> None:
@@ -354,10 +400,16 @@ class StackedDropout(Module):
         self._masks = masks
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if self._probe:
+            # One-shot shape probe: record the feature shape, touch nothing.
+            self.probe_shape = x.shape[2:]
+            self._probe = False
+            self._mult = None
+            return x
         if not self.training or self.rate == 0.0:
             self._mult = None
             return x
-        if self._plan is None:
+        if self._plan is None and self._masks is None:
             raise RuntimeError("StackedDropout.forward before begin_round")
         if self._masks is None:
             self._draw_masks(x.shape[2:])
@@ -369,13 +421,14 @@ class StackedDropout(Module):
         buf = self._mult_buf
         if (
             buf is None
+            or buf.dtype != x.dtype
             or buf.shape[2:] != x.shape[2:]
             or buf.shape[0] < k
             or buf.shape[1] < width
         ):
             grow = (max(k, buf.shape[0] if buf is not None else 0),
                     max(width, buf.shape[1] if buf is not None else 0))
-            buf = self._mult_buf = np.empty(grow + x.shape[2:], dtype=np.float64)
+            buf = self._mult_buf = np.empty(grow + x.shape[2:], dtype=x.dtype)
         mult = buf[:k, :width]
         for pos in range(k):
             m = self._masks[pos][t]
@@ -437,8 +490,12 @@ class StackedEmbedding(Module):
         np.add.at(self.weight.grad, (self._copy_idx, self._ids), dy)
         # Ids are not differentiable; shape-cached zero placeholder, as in
         # the serial layer.
-        if self._dx_zero is None or self._dx_zero.shape != self._ids.shape:
-            self._dx_zero = np.zeros(self._ids.shape, dtype=np.float64)
+        if (
+            self._dx_zero is None
+            or self._dx_zero.shape != self._ids.shape
+            or self._dx_zero.dtype != dy.dtype
+        ):
+            self._dx_zero = np.zeros(self._ids.shape, dtype=dy.dtype)
         else:
             self._dx_zero.fill(0.0)
         return self._dx_zero
@@ -556,9 +613,9 @@ class StackedLSTM(Module):
         h_sz = self.hidden_size
         inputs = x
         for layer, cell in enumerate(self.cells):
-            h = np.zeros((k, n, h_sz))
-            c = np.zeros((k, n, h_sz))
-            outputs = np.empty((k, n, t_steps, h_sz))
+            h = np.zeros((k, n, h_sz), dtype=x.dtype)
+            c = np.zeros((k, n, h_sz), dtype=x.dtype)
+            outputs = np.empty((k, n, t_steps, h_sz), dtype=x.dtype)
             for t in range(t_steps):
                 h, c, cache = cell.step(inputs[:, :, t, :], h, c)
                 self._caches[layer].append(cache)
@@ -575,9 +632,9 @@ class StackedLSTM(Module):
         dinputs = dy
         for layer in range(self.num_layers - 1, -1, -1):
             cell = self.cells[layer]
-            dx = np.zeros((k, n, t_steps, cell.input_size))
-            dh = np.zeros((k, n, h_sz))
-            dc = np.zeros((k, n, h_sz))
+            dx = np.zeros((k, n, t_steps, cell.input_size), dtype=dy.dtype)
+            dh = np.zeros((k, n, h_sz), dtype=dy.dtype)
+            dc = np.zeros((k, n, h_sz), dtype=dy.dtype)
             for t in range(t_steps - 1, -1, -1):
                 dh_total = dh + dinputs[:, :, t, :]
                 dx_t, dh, dc = cell.step_backward(dh_total, dc, self._caches[layer][t])
@@ -597,9 +654,9 @@ class StackedLSTM(Module):
                 n, t_steps = inputs.shape[0], inputs.shape[1]
             else:
                 n, t_steps = inputs.shape[1], inputs.shape[2]
-            h = np.zeros((k, n, h_sz))
-            c = np.zeros((k, n, h_sz))
-            outputs = np.empty((k, n, t_steps, h_sz))
+            h = np.zeros((k, n, h_sz), dtype=inputs.dtype)
+            c = np.zeros((k, n, h_sz), dtype=inputs.dtype)
+            outputs = np.empty((k, n, t_steps, h_sz), dtype=inputs.dtype)
             for t in range(t_steps):
                 x_t = inputs[:, t, :] if shared else inputs[:, :, t, :]
                 gates = (
@@ -622,10 +679,12 @@ class StackedLSTM(Module):
 # -- stacked losses -----------------------------------------------------------
 
 
-def _check_mask(mask: Optional[np.ndarray], shape: tuple) -> Optional[np.ndarray]:
+def _check_mask(
+    mask: Optional[np.ndarray], shape: tuple, dtype=None
+) -> Optional[np.ndarray]:
     if mask is None:
         return None
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64 if dtype is None else dtype)
     if mask.shape != shape:
         raise ValueError(f"mask must be {shape}, got {mask.shape}")
     counts = mask.sum(axis=1)
@@ -655,7 +714,7 @@ def stacked_softmax_cross_entropy(
         raise ValueError(f"labels must be ({c},{b}), got {labels.shape}")
     if b == 0:
         raise ValueError("empty batch")
-    mask = _check_mask(mask, (c, b))
+    mask = _check_mask(mask, (c, b), dtype=logits.dtype)
     logp = log_softmax(logits, axis=2)
     rows = np.arange(c)[:, None], np.arange(b)[None, :], labels
     nll = -logp[rows]  # (C, B)
@@ -680,7 +739,10 @@ def stacked_mse(
     over every element of the copy's (unmasked) rows. ``mask`` is ``(C, B)``
     in {0, 1}; masked rows contribute neither loss nor gradient.
     """
-    targets = np.asarray(targets, dtype=np.float64)
+    target_dtype = (
+        preds.dtype if np.issubdtype(preds.dtype, np.floating) else np.float64
+    )
+    targets = np.asarray(targets, dtype=target_dtype)
     if preds.ndim < 2:
         raise ValueError(f"preds must be (C, B, ...), got {preds.shape}")
     if preds.shape != targets.shape:
@@ -688,7 +750,7 @@ def stacked_mse(
     c, b = preds.shape[:2]
     if b == 0:
         raise ValueError("empty batch")
-    mask = _check_mask(mask, (c, b))
+    mask = _check_mask(mask, (c, b), dtype=target_dtype)
     per_row = int(np.prod(preds.shape[2:], dtype=np.int64)) if preds.ndim > 2 else 1
     diff = preds - targets
     sq = diff**2
@@ -723,7 +785,7 @@ def stacked_sequence_cross_entropy(
         raise ValueError(f"labels must be ({c},{b},{t}), got {labels.shape}")
     if b == 0 or t == 0:
         raise ValueError("empty batch")
-    mask = _check_mask(mask, (c, b))
+    mask = _check_mask(mask, (c, b), dtype=logits.dtype)
     flat = logits.reshape(c, b * t, v)
     flat_labels = labels.reshape(c, b * t)
     logp = log_softmax(flat, axis=2)
@@ -838,18 +900,13 @@ def _stackable_leaves(module: Module) -> Optional[List[Module]]:
 def supports_stacking(module: Module) -> bool:
     """True iff every leaf layer of ``module`` has a stacked counterpart.
 
-    The one structural refusal left: several active Dropout layers sharing
-    one generator object — per-layer mask pre-draw cannot reproduce the
-    serial loop's interleaved draw order from a single stream, so such
-    models keep the serial per-client path. (This refusal applies to
-    *training* only: inference dropout is the identity, so
-    :func:`eval_stack_signature` accepts such models.)
+    A purely structural check. Models whose active Dropout layers share
+    one generator object stack too: the cohort trainer detects the
+    sharing and switches to the eager interleaved mask pre-draw
+    (:meth:`StackedDropout.install_masks`), which reproduces the serial
+    loop's cross-layer draw order from the single stream exactly.
     """
-    leaves = _stackable_leaves(module)
-    if leaves is None:
-        return False
-    rngs = [id(leaf.rng) for leaf in leaves if isinstance(leaf, Dropout) and leaf.rate > 0]
-    return len(set(rngs)) == len(rngs)
+    return _stackable_leaves(module) is not None
 
 
 def collect_dropout_rngs(module: Module) -> List[np.random.Generator]:
@@ -898,11 +955,13 @@ def stack_signature(module: Module) -> Optional[tuple]:
 def eval_stack_signature(module: Module) -> Optional[tuple]:
     """Architecture key for *inference* stacking, or ``None``.
 
-    Equal to :func:`stack_signature` whenever that is defined, but also
-    defined for models whose active Dropout layers share one generator:
-    inference dropout is the identity, so the training-side refusal does
-    not apply. The fused evaluation engine groups same-signature models
-    onto one :meth:`StackedModel.forward_eval` inference slab.
+    Equal to :func:`stack_signature` for every stackable model (the two
+    checks are both structural now that shared-generator Dropout trains
+    on the slab); kept as a separate seam because inference stacking has
+    strictly weaker requirements — a future training-side refusal must
+    not cost models their fused evaluation. The fused evaluation engine
+    groups same-signature models onto one
+    :meth:`StackedModel.forward_eval` inference slab.
     """
     leaves = _stackable_leaves(module)
     if leaves is None:
@@ -913,33 +972,38 @@ def eval_stack_signature(module: Module) -> Optional[tuple]:
 class StackedModel(Module):
     """C lockstep copies of a template model over one ``(C, P)`` parameter slab.
 
-    Parameters of the stacked layers are float64 *views* into ``slab``
-    (and gradients into ``grad_slab``), laid out so that ``slab[c]`` is
-    exactly ``get_flat_params(template)`` of copy ``c``. Setting the slab
-    therefore sets every layer, and a fused optimizer step on the slab
-    updates every layer — no per-parameter gather/scatter.
+    Parameters of the stacked layers are compute-dtype *views* into
+    ``slab`` (and gradients into ``grad_slab``), laid out so that
+    ``slab[c]`` is exactly ``get_flat_params(template)`` of copy ``c``.
+    Setting the slab therefore sets every layer, and a fused optimizer
+    step on the slab updates every layer — no per-parameter
+    gather/scatter. ``dtype`` is the slab compute dtype
+    (:func:`repro.nn.backend.resolve_dtype`: float64 default — the
+    bit-exact serial reference — or opt-in float32, which halves slab
+    memory); since layer parameters alias the slab, it governs every
+    kernel's compute precision.
     """
 
-    def __init__(self, template: Module, n_copies: int):
+    def __init__(self, template: Module, n_copies: int, dtype=None):
         super().__init__()
         if n_copies < 1:
             raise ValueError(f"n_copies must be >= 1, got {n_copies}")
         # Structural coverage only: generators are supplied per round via
-        # begin_round, so the shared-Dropout-generator *training* refusal
-        # (supports_stacking) is the trainers' gate, not the model's —
-        # inference-only slabs legitimately stack such templates.
+        # begin_round/install_masks, so Dropout stream handling is the
+        # trainers' job, not the model's.
         if _stackable_leaves(template) is None:
             raise ValueError(
                 f"model {type(template).__name__} contains layers without stacked kernels"
             )
         self.n_copies = n_copies
+        self.dtype = resolve_dtype(dtype)
         self.layers: List[Module] = [
             STACK_FACTORIES[type(leaf)](leaf, n_copies) for leaf in _iter_leaves(template)
         ]
         template_params = [p for leaf in _iter_leaves(template) for p in leaf.parameters()]
         self.n_params = sum(p.size for p in template_params)
-        self._slab = np.empty((n_copies, self.n_params), dtype=np.float64)
-        self._gslab = np.zeros((n_copies, self.n_params), dtype=np.float64)
+        self._slab = np.empty((n_copies, self.n_params), dtype=self.dtype)
+        self._gslab = np.zeros((n_copies, self.n_params), dtype=self.dtype)
         # Rebind every stacked parameter's data/grad to slab views. Stacked
         # layers create parameters in the same order as their template
         # layer, so offsets line up with get_flat_params column order.
@@ -970,8 +1034,9 @@ class StackedModel(Module):
         return self._gslab
 
     def set_flat(self, flat: np.ndarray) -> None:
-        """Load one flat ``(P,)`` vector into every copy (broadcast)."""
-        flat = np.asarray(flat, dtype=np.float64)
+        """Load one flat ``(P,)`` vector into every copy (broadcast, cast
+        to the slab's compute dtype)."""
+        flat = np.asarray(flat, dtype=self._slab.dtype)
         if flat.shape != (self.n_params,):
             raise ValueError(f"expected flat vector of size {self.n_params}, got {flat.shape}")
         self._slab[...] = flat

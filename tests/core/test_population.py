@@ -120,6 +120,15 @@ class TestSlabEquivalence:
     """Fused-slab vs serial-reference bit-equivalence (the PR acceptance
     criterion: no padding => bit-identical, identical RNG end states)."""
 
+    @pytest.fixture(autouse=True)
+    def _float64_reference(self, monkeypatch):
+        """Bit-equivalence against the serial path needs the float64
+        reference dtype; an ambient REPRO_DTYPE=float32 (the CI float32
+        leg) must not narrow the slab side of the comparison."""
+        from repro.nn.backend import DTYPE_ENV
+
+        monkeypatch.delenv(DTYPE_ENV, raising=False)
+
     @pytest.mark.parametrize("cls", TUNERS)
     def test_fused_bit_identical_to_serial(self, cls, dataset, space):
         serial, fused = run_pair(cls, dataset, space)

@@ -45,7 +45,6 @@ from repro.engine.executor import (
 from repro.engine.faults import (
     FaultConfig,
     FaultPlan,
-    InjectedTrialFault,
     ParticipationLog,
 )
 from repro.nn import make_mlp, softmax_cross_entropy
@@ -334,7 +333,14 @@ class TestTrainingFaults:
         assert trial_b.state.simulated_time == 0.0
         assert trial_a.state.participation.straggled.sum() > 0
 
-    def test_dropout_is_identical_across_cohort_modes(self, dataset):
+    def test_dropout_is_identical_across_cohort_modes(self, dataset, monkeypatch):
+        # Cross-mode bit-identity needs the float64 reference dtype: the
+        # serial mode always computes float64, so an ambient
+        # REPRO_DTYPE=float32 (the CI float32 leg) must not narrow the
+        # slab modes it is compared against.
+        from repro.nn.backend import DTYPE_ENV
+
+        monkeypatch.delenv(DTYPE_ENV, raising=False)
         plan = FaultPlan(FaultConfig(seed=6, dropout_rate=0.4, quorum=0.4))
         params = {}
         for mode in ("serial", "vectorized", "fused"):

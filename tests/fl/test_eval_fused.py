@@ -142,10 +142,10 @@ class TestStackedVsSerial:
         assert runner._eval_engine is not None
         assert len(runner._eval_engine._models) == 0  # borrowed, not allocated
 
-    def test_shared_dropout_model_fuses_for_eval_only(self):
+    def test_shared_dropout_model_fuses_for_eval(self):
         ds = shared_dropout_dataset()
         model = ds.task.build_model(0)
-        assert not supports_stacking(model)
+        assert supports_stacking(model)  # trains on the slab too, now
         assert eval_stack_signature(model) is not None
         runner = FederatedTrialRunner(ds, max_rounds=10, seed=3)
         trials = trained_trials(runner, 3)

@@ -20,8 +20,18 @@ from repro.datasets.base import ClientData, FederatedDataset, TaskSpec, classifi
 from repro.engine import TrialFusedRunner
 from repro.fl import FedAdam, FederatedTrainer, FusedTrainerPool, LocalTrainingConfig
 from repro.nn import Dropout, Linear, ReLU, Sequential, make_mlp, softmax_cross_entropy
+from repro.nn.backend import DTYPE_ENV
 
 RTOL, ATOL = 1e-8, 1e-11  # documented ragged-cohort tolerance (multi-round)
+
+
+@pytest.fixture(autouse=True)
+def _float64_reference(monkeypatch):
+    """Fused-vs-serial equivalence is a float64-reference contract: an
+    ambient REPRO_DTYPE=float32 (the CI float32 leg) must not move the
+    slab off the serial path's float64. float32 self-consistency lives in
+    tests/fl/test_float32.py."""
+    monkeypatch.delenv(DTYPE_ENV, raising=False)
 
 
 def mlp_dataset(n_train=16, n_eval=4, d=6, classes=3, n_lo=10, n_hi=24, seed=0, hidden=(8,)):

@@ -1,0 +1,156 @@
+"""Tests for the array-namespace shim (repro.nn.backend).
+
+The shim is the seam every slab kernel routes through: these tests pin
+the capability probe, the registry/activation lifecycle, the ``xp``
+proxy's call-time indirection, and the dtype-resolution precedence
+(explicit > $REPRO_DTYPE > backend default).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.backend import (
+    BACKEND_ENV,
+    DTYPE_ENV,
+    REQUIRED_OPS,
+    ArrayBackend,
+    available_backends,
+    get_backend,
+    probe_capabilities,
+    register_backend,
+    resolve_dtype,
+    set_backend,
+    use_backend,
+    xp,
+)
+
+
+class TestProbe:
+    def test_numpy_passes_every_required_op(self):
+        caps = probe_capabilities(np)
+        assert set(caps) == set(REQUIRED_OPS)
+        assert all(caps.values()), [op for op, ok in caps.items() if not ok]
+
+    def test_dotted_names_traverse_attributes(self):
+        caps = probe_capabilities(np)
+        assert "add.at" in caps and caps["add.at"]
+        assert "random.default_rng" in caps and caps["random.default_rng"]
+
+    def test_missing_ops_reported_by_name(self):
+        class Hollow:
+            empty = staticmethod(np.empty)
+
+        backend = ArrayBackend("hollow", Hollow())
+        missing = backend.missing_ops
+        assert "matmul" in missing
+        assert "empty" not in missing
+        with pytest.raises(RuntimeError, match="matmul"):
+            backend.require()
+
+    def test_require_returns_self_when_complete(self):
+        backend = ArrayBackend("np2", np)
+        assert backend.require() is backend
+
+
+class TestRegistryAndActivation:
+    def test_default_backend_is_numpy(self):
+        backend = get_backend()
+        assert backend.name == "numpy"
+        assert backend.xp is np
+
+    def test_builtin_names_registered(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "cupy" in names
+        assert "torch" in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            set_backend("no-such-backend")
+        assert get_backend().name == "numpy"
+
+    def test_missing_optional_dependency_raises_informatively(self):
+        # cupy/torch are not installed in CI; their factories must fail
+        # with a clear RuntimeError at activation, never an ImportError
+        # from inside a kernel. Skip if the package happens to exist.
+        for name in ("cupy", "torch"):
+            try:
+                __import__(name)
+            except ImportError:
+                with pytest.raises(RuntimeError, match=name):
+                    set_backend(name)
+        assert get_backend().name == "numpy"
+
+    def test_incapable_backend_never_activates(self):
+        class Hollow:
+            pass
+
+        with pytest.raises(RuntimeError):
+            set_backend(ArrayBackend("hollow", Hollow()))
+        assert get_backend().name == "numpy"
+
+    def test_register_and_use_backend_restores_previous(self):
+        register_backend("numpy-alias", lambda: ArrayBackend("numpy-alias", np))
+        before = get_backend()
+        with use_backend("numpy-alias") as active:
+            assert active.name == "numpy-alias"
+            assert get_backend() is active
+        assert get_backend() is before
+
+    def test_env_var_names_are_stable(self):
+        # Documented in README / context.py; renaming them breaks users.
+        assert BACKEND_ENV == "REPRO_BACKEND"
+        assert DTYPE_ENV == "REPRO_DTYPE"
+
+
+class TestXpProxy:
+    def test_attribute_lookup_hits_active_namespace(self):
+        assert xp.float64 is np.float64
+        a = xp.zeros((2, 3))
+        assert isinstance(a, xp.ndarray)
+        assert isinstance(a, np.ndarray)
+
+    def test_proxy_follows_backend_switch(self):
+        sentinel = np.arange(3)
+
+        class Fake:
+            def __getattr__(self, name):
+                if name == "marker":
+                    return sentinel
+                return getattr(np, name)
+
+        register_backend("fake-marked", lambda: ArrayBackend("fake-marked", Fake()))
+        with use_backend("fake-marked"):
+            assert xp.marker is sentinel
+        with pytest.raises(AttributeError):
+            xp.marker
+
+    def test_kernels_import_the_proxy_not_numpy(self):
+        import repro.fl.cohort as cohort
+        import repro.fl.evaluation as evaluation
+        import repro.nn.optim as optim
+        import repro.nn.stacked as stacked
+
+        for mod in (stacked, optim, cohort, evaluation):
+            assert mod.np is xp, mod.__name__
+
+
+class TestResolveDtype:
+    def test_default_is_float64(self, monkeypatch):
+        monkeypatch.delenv(DTYPE_ENV, raising=False)
+        assert resolve_dtype() == np.dtype(np.float64)
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(DTYPE_ENV, "float64")
+        assert resolve_dtype("float32") == np.dtype(np.float32)
+        assert resolve_dtype(np.float32) == np.dtype(np.float32)
+
+    def test_env_var_wins_over_backend_default(self, monkeypatch):
+        monkeypatch.setenv(DTYPE_ENV, "float32")
+        assert resolve_dtype() == np.dtype(np.float32)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unsupported slab dtype"):
+            resolve_dtype("float16")
+        with pytest.raises(ValueError):
+            resolve_dtype("int64")
