@@ -10,6 +10,9 @@ setup(
     python_requires=">=3.9",
     install_requires=["numpy>=1.21", "scipy>=1.7"],
     entry_points={
-        "console_scripts": ["repro-experiments=repro.experiments.cli:main"],
+        "console_scripts": [
+            "repro-experiments=repro.experiments.cli:main",
+            "repro-serve=repro.service.cli:main",
+        ],
     },
 )

@@ -107,9 +107,8 @@ class BaseTuner:
         self._checkpointer = None
         # Fault injection (attach_faults) and polite-preemption plumbing.
         self._fault_plan = None
-        self._sigterm_pending = False
-        self._sigterm_installed = False
-        self._prev_sigterm = None
+        self._preempt_signum: Optional[int] = None
+        self._prev_handlers: Dict[int, object] = {}
 
     # -- fault injection --------------------------------------------------------
     def attach_faults(self, plan) -> None:
@@ -129,33 +128,45 @@ class BaseTuner:
         self.evaluator.set_fault_plan(plan)
 
     # -- polite preemption ------------------------------------------------------
-    def _install_sigterm(self) -> None:
-        """Trap SIGTERM for the duration of a checkpointed run: the
-        handler only raises a flag, and :meth:`_checkpoint` — called at
-        every safe batch boundary — turns it into a final forced save
-        followed by a clean exit. Without a checkpointer (or off the main
-        thread, where signal handlers cannot be installed) this is a
-        no-op and SIGTERM keeps its default effect."""
-        self._sigterm_pending = False
+    def request_preempt(self, signum: int = signal.SIGTERM) -> None:
+        """Ask a running checkpointed tuner to stop at its next safe batch
+        boundary: a final forced checkpoint is saved there and the run
+        exits via ``SystemExit(128 + signum)``. This is the programmatic
+        face of the SIGTERM/SIGINT path — the tuning-service daemon calls
+        it from its drain handler to preempt jobs running in worker
+        threads (where per-run signal handlers cannot be installed).
+        Safe to call from any thread; a no-op once the run has finished.
+        """
+        self._preempt_signum = int(signum)
+
+    def _install_preempt_signals(self) -> None:
+        """Trap SIGTERM *and* SIGINT for the duration of a checkpointed
+        run: the handler only records the signal, and :meth:`_checkpoint`
+        — called at every safe batch boundary — turns it into a final
+        forced save followed by a clean exit (143 for SIGTERM, 130 for
+        SIGINT), so both a polite ``kill`` and a Ctrl-C leave a resumable
+        checkpoint instead of a torn run. Without a checkpointer (or off
+        the main thread, where signal handlers cannot be installed) this
+        is a no-op and both signals keep their default effect."""
+        self._preempt_signum = None
         if self._checkpointer is None:
             return
         if threading.current_thread() is not threading.main_thread():
             return
 
         def handler(signum, frame):
-            self._sigterm_pending = True
+            self._preempt_signum = signum
 
-        try:
-            self._prev_sigterm = signal.signal(signal.SIGTERM, handler)
-        except ValueError:  # pragma: no cover - non-main interpreter states
-            return
-        self._sigterm_installed = True
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._prev_handlers[signum] = signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - non-main interpreter states
+                return
 
-    def _restore_sigterm(self) -> None:
-        if self._sigterm_installed:
-            signal.signal(signal.SIGTERM, self._prev_sigterm)
-            self._sigterm_installed = False
-            self._prev_sigterm = None
+    def _restore_preempt_signals(self) -> None:
+        for signum, previous in list(self._prev_handlers.items()):
+            signal.signal(signum, previous)
+        self._prev_handlers.clear()
 
     # -- subclass interface ----------------------------------------------------
     def planned_releases(self) -> int:
@@ -471,13 +482,14 @@ class BaseTuner:
         without one). _run implementations call this only at safe batch
         boundaries: points where the serialized state deterministically
         replays the remainder of the current step, so a kill anywhere
-        resumes onto the identical trajectory. A SIGTERM received since
-        the last boundary turns this save into a forced final checkpoint
-        followed by a clean exit (polite preemption)."""
+        resumes onto the identical trajectory. A SIGTERM/SIGINT (or a
+        :meth:`request_preempt` call) received since the last boundary
+        turns this save into a forced final checkpoint followed by a
+        clean exit (polite preemption)."""
         if self._checkpointer is not None:
-            if self._sigterm_pending:
+            if self._preempt_signum is not None:
                 self._checkpointer.save(self, force=True)
-                raise SystemExit(128 + signal.SIGTERM)
+                raise SystemExit(128 + self._preempt_signum)
             self._checkpointer.save(self, force=force)
 
     def _phased_sweep(self, configs, rounds_per_config: int) -> None:
@@ -507,14 +519,14 @@ class BaseTuner:
         if checkpoint is not None:
             self._checkpointer = checkpoint
         if not self._finished:
-            self._install_sigterm()
+            self._install_preempt_signals()
             try:
                 self._checkpoint()
                 self._run()
                 self._finished = True
                 self._checkpoint(force=True)
             finally:
-                self._restore_sigterm()
+                self._restore_preempt_signals()
         best_trial = self._incumbent
         return TuningResult(
             method=self.method_name,

@@ -1,0 +1,91 @@
+"""Shared atomic-file primitives for the engine's on-disk state.
+
+Every durable artifact in the system — bank caches, run checkpoints, the
+tuning service's experiment records and job journal — follows the same two
+rules:
+
+1. **Writes are atomic.** A record is staged in a temp file in the target
+   directory and published with ``os.replace``, so a crash mid-write can
+   never leave a truncated file where a reader expects a complete one: the
+   path always holds the previous complete version or the new one.
+2. **Corruption is quarantined, never destroyed.** A file that exists but
+   fails to load is moved aside to a collision-safe ``<path>.corrupt[.N]``
+   name — repeated corruption events each keep their own evidence file
+   instead of clobbering the previous post-mortem — and the caller treats
+   the load as a miss.
+
+:func:`quarantine` centralizes rule 2 for :mod:`repro.engine.bank_store`,
+:mod:`repro.engine.checkpoint`, and :mod:`repro.service.store`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+
+def next_quarantine_path(path: str) -> str:
+    """First unused quarantine name for ``path``.
+
+    ``<path>.corrupt`` if free, else ``<path>.corrupt.1``,
+    ``<path>.corrupt.2``, ... — so a file that goes corrupt repeatedly
+    (or two distinct corruption events racing on the same entry) never
+    overwrites the evidence from an earlier event.
+    """
+    candidate = path + ".corrupt"
+    counter = 0
+    while os.path.exists(candidate):
+        counter += 1
+        candidate = f"{path}.corrupt.{counter}"
+    return candidate
+
+
+def quarantine(path: str) -> Optional[str]:
+    """Move a corrupt file aside; returns the quarantine path, or ``None``
+    when the move itself failed (read-only filesystem, vanished file, ...).
+
+    The existence probe and the rename are not one atomic step, so two
+    processes quarantining the *same* file at the same instant could pick
+    the same target — but ``os.replace`` of the same source is idempotent
+    (one of them wins, the evidence survives once), which is exactly the
+    at-least-once guarantee the callers need.
+    """
+    target = next_quarantine_path(path)
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target
+
+
+def atomic_write_bytes(path: str, data: bytes) -> str:
+    """Atomically publish ``data`` at ``path`` (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return path
+
+
+def atomic_write_json(path: str, obj: Any) -> str:
+    """Atomically publish ``obj`` as canonical JSON (sorted keys, stable
+    separators — byte-identical output for equal values)."""
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n"
+    return atomic_write_bytes(path, payload.encode("utf-8"))
+
+
+def read_json(path: str) -> Any:
+    """Load a JSON file written by :func:`atomic_write_json` (raises on
+    missing or corrupt files; callers decide whether to quarantine)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -113,14 +113,12 @@ class BankStore:
         try:
             return ConfigBank.load(path)
         except Exception as exc:
-            quarantine = path + ".corrupt"
-            try:
-                os.replace(path, quarantine)
-            except OSError:
-                quarantine = path
+            from repro.engine.atomicio import quarantine
+
+            target = quarantine(path) or path
             warnings.warn(
                 f"corrupt bank cache entry {path}: {exc!r}; "
-                f"quarantined as {quarantine}, treating as a miss",
+                f"quarantined as {target}, treating as a miss",
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -130,17 +130,20 @@ def save_checkpoint(path: str, tuner) -> str:
 
 
 def _quarantine_corrupt(path: str, reason: str) -> None:
-    """Move a corrupt/truncated checkpoint aside as ``<path>.corrupt``
-    (mirroring :meth:`repro.engine.bank_store.BankStore.get`), so the next
-    launch finds no checkpoint and starts fresh instead of tripping over
-    the same broken file forever. The file is preserved for post-mortems.
+    """Move a corrupt/truncated checkpoint aside as a collision-safe
+    ``<path>.corrupt[.N]`` (mirroring
+    :meth:`repro.engine.bank_store.BankStore.get`), so the next launch
+    finds no checkpoint and starts fresh instead of tripping over the same
+    broken file forever. Each corruption event keeps its own evidence
+    file for post-mortems — a repeat never clobbers the previous one.
     """
-    quarantine = path + ".corrupt"
-    try:
-        os.replace(path, quarantine)
-        note = f"quarantined as {quarantine}"
-    except OSError as move_exc:
-        note = f"could not be quarantined ({move_exc})"
+    from repro.engine.atomicio import quarantine
+
+    target = quarantine(path)
+    if target is not None:
+        note = f"quarantined as {target}"
+    else:
+        note = "could not be quarantined"
     warnings.warn(
         f"corrupt checkpoint {path}: {reason}; {note} — a re-launch will "
         "start the run fresh",

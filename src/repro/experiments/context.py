@@ -89,6 +89,12 @@ class ExperimentContext:
         :func:`repro.experiments.fig_methods.make_tuner`) and into the
         context's executor (worker kills). Defaults to ``$REPRO_FAULTS``
         parsed via :meth:`FaultConfig.parse` (no injection when unset).
+    executor : a pre-built :class:`repro.engine.executor.TrialExecutor`
+        to use instead of constructing one — the tuning service
+        (:mod:`repro.service`) injects its one shared pool (optionally
+        wrapped in a per-job :class:`~repro.engine.executor.WorkerCapExecutor`)
+        into every job's context so all tenants share the same workers.
+        Overrides ``n_workers``; the caller owns fault wiring.
     """
 
     def __init__(
@@ -104,6 +110,7 @@ class ExperimentContext:
         cohort_dtype=None,
         checkpoint_dir: Optional[str] = None,
         faults=None,
+        executor=None,
     ):
         from repro.engine.bank_store import BankStore
         from repro.engine.executor import SerialExecutor, make_executor
@@ -138,7 +145,12 @@ class ExperimentContext:
         if isinstance(faults, FaultConfig):
             faults = FaultPlan(faults)
         self.faults = faults
-        if n_workers is None and not os.environ.get(WORKERS_ENV_VAR):
+        if executor is not None:
+            # Injected shared executor (the tuning service schedules many
+            # concurrent jobs onto one pool); the caller owns its fault
+            # wiring and worker caps.
+            self.executor = executor
+        elif n_workers is None and not os.environ.get(WORKERS_ENV_VAR):
             self.executor = SerialExecutor()
         else:
             self.executor = make_executor(n_workers, faults=self.faults)

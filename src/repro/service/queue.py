@@ -1,0 +1,336 @@
+"""Crash-safe job queue with at-least-once semantics and expiring leases.
+
+Jobs move PENDING → LEASED → RUNNING → DONE / FAILED / QUARANTINED. Every
+transition is committed to the write-ahead journal
+(:class:`repro.service.journal.Journal`) *before* it takes effect, so the
+queue's full state is a pure function of journal replay — a ``kill -9``
+anywhere loses at most the transition being written, and the journal's
+torn-tail handling drops exactly that.
+
+Liveness is lease-driven: a worker holds an expiring lease on each job it
+executes and renews it by heartbeat. A worker that dies stops
+heartbeating; once the lease expires, the next ``lease()`` or
+``recover_expired()`` sweep requeues the job as PENDING, and the
+checkpoint/resume contract makes the re-run bit-identical. Lease expiry is
+*not* a failure — only an exception raised by the job itself counts toward
+``max_job_failures``, after which the job is QUARANTINED as poison with
+its traceback, out of the way of its sibling tenants.
+
+Cross-process writers (the REST front end submitting while the daemon
+leases) serialize on an ``flock`` file lock; every mutating op re-replays
+the journal under the lock, so each process always acts on the latest
+committed state.
+
+Fairness: ``lease()`` rotates round-robin over tenants with pending work,
+so one tenant's deep backlog cannot starve another's single job. The
+rotation cursor is deliberately in-memory only — fairness is a scheduling
+preference, not a durability invariant.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.service.journal import FileLock, Journal
+
+# Job lifecycle states.
+PENDING = "PENDING"          # submitted, waiting for a worker
+LEASED = "LEASED"            # held by a worker, not yet executing
+RUNNING = "RUNNING"          # actively executing under a live lease
+DONE = "DONE"                # finished; result persisted
+FAILED = "FAILED"            # last attempt raised; retryable, awaiting requeue
+QUARANTINED = "QUARANTINED"  # poison: failed max_job_failures times, parked
+
+STATES = (PENDING, LEASED, RUNNING, DONE, FAILED, QUARANTINED)
+
+#: States in which a worker holds the job.
+_HELD = (LEASED, RUNNING)
+
+
+class StaleLeaseError(RuntimeError):
+    """A worker acted on a job whose lease it no longer holds.
+
+    Raised when the lease expired (and the job was requeued, possibly to
+    another worker) between the worker's operations. The correct worker
+    response is to abandon the job — its progress is safe in the
+    checkpoint, and whoever holds the lease now will resume from it.
+    """
+
+
+class JobQueue:
+    """Journal-backed job queue (see module docstring).
+
+    Parameters
+    ----------
+    root : directory holding ``queue.jsonl`` (the journal) and
+        ``queue.lock`` (the cross-process mutex).
+    lease_duration : seconds a lease lives without a heartbeat.
+    max_job_failures : executions that may raise before the job is
+        quarantined as poison.
+    clock : time source (seconds); injectable so tests can expire leases
+        without sleeping.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        lease_duration: float = 30.0,
+        max_job_failures: int = 3,
+        clock: Callable[[], float] = time.time,
+    ):
+        import os
+
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.lease_duration = float(lease_duration)
+        if self.lease_duration <= 0:
+            raise ValueError(f"lease_duration must be > 0, got {lease_duration}")
+        self.max_job_failures = int(max_job_failures)
+        if self.max_job_failures < 1:
+            raise ValueError(f"max_job_failures must be >= 1, got {max_job_failures}")
+        self.clock = clock
+        self.journal = Journal(os.path.join(self.root, "queue.jsonl"))
+        self.lock = FileLock(os.path.join(self.root, "queue.lock"))
+        self._jobs: Dict[str, Dict] = {}
+        self._order: List[str] = []  # submission order, for deterministic scans
+        self._rr_cursor = 0          # in-memory tenant rotation (fairness only)
+        self.reload()
+
+    # -- state reconstruction ---------------------------------------------------
+    def reload(self) -> None:
+        """Rebuild in-memory state by replaying the journal.
+
+        Called under the lock before every mutating op, so concurrent
+        processes (REST submitter, daemon) always see each other's
+        committed transitions.
+        """
+        jobs: Dict[str, Dict] = {}
+        order: List[str] = []
+        for entry in self.journal.replay():
+            op = entry.get("op")
+            job_id = entry.get("job_id")
+            if op == "submit":
+                if job_id in jobs:
+                    continue  # duplicate submit (at-least-once REST retry)
+                jobs[job_id] = {
+                    "job_id": job_id,
+                    "tenant": entry.get("tenant", "default"),
+                    "spec": entry.get("spec", {}),
+                    "state": PENDING,
+                    "worker": None,
+                    "lease_expires": None,
+                    "failures": 0,
+                    "error": None,
+                }
+                order.append(job_id)
+                continue
+            job = jobs.get(job_id)
+            if job is None:
+                continue  # transition for a lost submit; at-least-once tolerates
+            if op == "lease":
+                job.update(state=LEASED, worker=entry.get("worker"),
+                           lease_expires=entry.get("expires"))
+            elif op == "running":
+                job["state"] = RUNNING
+            elif op == "heartbeat":
+                job["lease_expires"] = entry.get("expires")
+            elif op == "expire" or op == "release":
+                job.update(state=PENDING, worker=None, lease_expires=None)
+            elif op == "done":
+                job.update(state=DONE, worker=None, lease_expires=None)
+            elif op == "fail":
+                job.update(state=FAILED, worker=None, lease_expires=None,
+                           failures=job["failures"] + 1, error=entry.get("error"))
+            elif op == "requeue":
+                job.update(state=PENDING, worker=None, lease_expires=None)
+            elif op == "quarantine":
+                job.update(state=QUARANTINED, worker=None, lease_expires=None,
+                           failures=job["failures"] + 1, error=entry.get("error"))
+        self._jobs = jobs
+        self._order = order
+
+    # -- submission -------------------------------------------------------------
+    def submit(self, spec: Dict, tenant: str = "default",
+               job_id: Optional[str] = None) -> str:
+        """Durably enqueue a job; returns its id.
+
+        Ids default to a monotonic sequence ("j0001", "j0002", ...) so a
+        reference run and a crash-recovery run of the same submissions
+        produce identically-named results. An explicitly-passed id that
+        already exists is an idempotent no-op (the REST retry case).
+        """
+        with self.lock:
+            self.reload()
+            if job_id is None:
+                taken = {j for j in self._jobs}
+                job_id = next(
+                    jid for jid in (f"j{n:04d}" for n in itertools.count(1))
+                    if jid not in taken
+                )
+            elif job_id in self._jobs:
+                return job_id
+            self.journal.append({
+                "op": "submit", "job_id": job_id, "tenant": str(tenant),
+                "spec": spec,
+            })
+            self.reload()
+        return job_id
+
+    # -- leasing ----------------------------------------------------------------
+    def _sweep_expired_locked(self) -> int:
+        """Requeue jobs whose lease has lapsed (caller holds the lock).
+
+        Expiry does not count as a failure: the worker died (or wedged),
+        the job didn't. Returns the number of jobs requeued.
+        """
+        now = self.clock()
+        swept = 0
+        for job_id in self._order:
+            job = self._jobs[job_id]
+            if job["state"] in _HELD and job["lease_expires"] is not None \
+                    and job["lease_expires"] <= now:
+                self.journal.append({
+                    "op": "expire", "job_id": job_id, "worker": job["worker"],
+                })
+                swept += 1
+        if swept:
+            self.reload()
+        return swept
+
+    def recover_expired(self) -> int:
+        """Public sweep: requeue all expired leases; returns the count."""
+        with self.lock:
+            self.reload()
+            return self._sweep_expired_locked()
+
+    def lease(self, worker: str) -> Optional[Dict]:
+        """Lease the next runnable job to ``worker`` (or ``None`` if idle).
+
+        FAILED jobs requeue automatically here (they are retryable by
+        definition — non-retryable ones went straight to QUARANTINED).
+        Tenant selection is round-robin so every tenant with pending work
+        gets a turn before any tenant gets a second.
+        """
+        with self.lock:
+            self.reload()
+            self._sweep_expired_locked()
+            runnable = [self._jobs[j] for j in self._order
+                        if self._jobs[j]["state"] in (PENDING, FAILED)]
+            if not runnable:
+                return None
+            tenants = sorted({job["tenant"] for job in runnable})
+            tenant = tenants[self._rr_cursor % len(tenants)]
+            self._rr_cursor += 1
+            job = next(j for j in runnable if j["tenant"] == tenant)
+            if job["state"] == FAILED:
+                self.journal.append({"op": "requeue", "job_id": job["job_id"]})
+            expires = self.clock() + self.lease_duration
+            self.journal.append({
+                "op": "lease", "job_id": job["job_id"], "worker": str(worker),
+                "expires": expires,
+            })
+            self.reload()
+            return dict(self._jobs[job["job_id"]])
+
+    def _held_job_locked(self, job_id: str, worker: str) -> Dict:
+        """The job iff ``worker`` still holds a live lease on it."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        if job["state"] not in _HELD or job["worker"] != worker:
+            raise StaleLeaseError(
+                f"worker {worker!r} no longer holds job {job_id!r} "
+                f"(state={job['state']}, holder={job['worker']!r})"
+            )
+        if job["lease_expires"] is not None and job["lease_expires"] <= self.clock():
+            # Expired but not yet swept: same outcome for this worker.
+            self.journal.append({"op": "expire", "job_id": job_id,
+                                 "worker": job["worker"]})
+            self.reload()
+            raise StaleLeaseError(
+                f"worker {worker!r}'s lease on job {job_id!r} expired"
+            )
+        return job
+
+    def heartbeat(self, job_id: str, worker: str) -> float:
+        """Renew the worker's lease; returns the new expiry time."""
+        with self.lock:
+            self.reload()
+            self._held_job_locked(job_id, worker)
+            expires = self.clock() + self.lease_duration
+            self.journal.append({
+                "op": "heartbeat", "job_id": job_id, "worker": worker,
+                "expires": expires,
+            })
+            self.reload()
+            return expires
+
+    def mark_running(self, job_id: str, worker: str) -> None:
+        """Record that execution began (LEASED → RUNNING)."""
+        with self.lock:
+            self.reload()
+            self._held_job_locked(job_id, worker)
+            self.journal.append({"op": "running", "job_id": job_id,
+                                 "worker": worker})
+            self.reload()
+
+    # -- completion -------------------------------------------------------------
+    def complete(self, job_id: str, worker: str) -> None:
+        """Commit success (→ DONE). The result must already be persisted —
+        DONE is the journal's promise that it exists."""
+        with self.lock:
+            self.reload()
+            self._held_job_locked(job_id, worker)
+            self.journal.append({"op": "done", "job_id": job_id,
+                                 "worker": worker})
+            self.reload()
+
+    def fail(self, job_id: str, worker: str, error: str,
+             retryable: bool = True) -> str:
+        """Commit a raised execution (→ FAILED, or → QUARANTINED once the
+        failure count reaches ``max_job_failures`` or the error is marked
+        non-retryable). Returns the resulting state."""
+        with self.lock:
+            self.reload()
+            job = self._held_job_locked(job_id, worker)
+            poison = (not retryable) or job["failures"] + 1 >= self.max_job_failures
+            self.journal.append({
+                "op": "quarantine" if poison else "fail",
+                "job_id": job_id, "worker": worker, "error": str(error),
+            })
+            self.reload()
+            return self._jobs[job_id]["state"]
+
+    def release(self, job_id: str, worker: str) -> None:
+        """Give the job back (→ PENDING) without counting a failure — the
+        graceful-drain path: the worker checkpointed and is exiting."""
+        with self.lock:
+            self.reload()
+            self._held_job_locked(job_id, worker)
+            self.journal.append({"op": "release", "job_id": job_id,
+                                 "worker": worker})
+            self.reload()
+
+    # -- inspection -------------------------------------------------------------
+    def job(self, job_id: str) -> Optional[Dict]:
+        """A snapshot of one job's state (or ``None``)."""
+        with self.lock:
+            self.reload()
+            job = self._jobs.get(job_id)
+            return dict(job) if job is not None else None
+
+    def jobs(self) -> List[Dict]:
+        """Snapshots of all jobs, in submission order."""
+        with self.lock:
+            self.reload()
+            return [dict(self._jobs[j]) for j in self._order]
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by state (all states present, zeros included)."""
+        snapshot = self.jobs()
+        counts = {state: 0 for state in STATES}
+        for job in snapshot:
+            counts[job["state"]] += 1
+        return counts

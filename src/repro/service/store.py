@@ -1,0 +1,193 @@
+"""Persistent experiment store: projects / experiments / runs / validation.
+
+The records layer of the tuning service, modeled on the Synergos
+``RunRecords``/``ValidationRecords`` layout but kept zero-dependency: each
+record is one canonical-JSON file written atomically (temp file +
+``os.replace``, the :meth:`repro.engine.bank_store.BankStore.put`
+pattern), stamped with :data:`STORE_FORMAT_VERSION`, and quarantined as a
+collision-safe ``<path>.corrupt[.N]`` when it fails to load — a damaged
+record is evidence to keep, not a reason to wedge the service.
+
+Hierarchy (ids are caller-chosen strings, so the service derives them
+deterministically from tenants and job ids):
+
+- **project** — one tenant's workspace.
+- **experiment** — a (dataset, method, noise setting) grouping inside a
+  project.
+- **run** — one tuning job's outcome: spec echo, result summary, final
+  errors.
+- **validation** — per-run validation records (the full-error curve and
+  evaluation metadata the paper's figures read).
+
+Each run additionally owns an append-only **curve stream**
+(``curves/<run_id>.jsonl``): incumbent-curve points appended as they are
+checkpointed, each carrying its curve index, so REST clients can poll
+``curve_points(run_id, start=n)`` while the job runs. The stream is
+at-least-once (a crash between checkpoint and append re-appends on
+resume); readers deduplicate by index, so the materialized view is exact.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Dict, List, Optional
+
+from repro.engine.atomicio import atomic_write_json, quarantine, read_json
+from repro.service.journal import Journal
+
+#: Version stamp of the on-disk record layout. Bump on incompatible
+#: changes; readers refuse records from a different version instead of
+#: silently misinterpreting them.
+STORE_FORMAT_VERSION = 1
+
+#: The record kinds the store manages, in hierarchy order.
+RECORD_KINDS = ("project", "experiment", "run", "validation")
+
+_KIND_DIRS = {
+    "project": "projects",
+    "experiment": "experiments",
+    "run": "runs",
+    "validation": "validation",
+}
+
+
+class StoreError(RuntimeError):
+    """A store record could not be read or written."""
+
+
+def _safe_id(record_id: str) -> str:
+    """Record ids become file names; refuse path tricks outright."""
+    rid = str(record_id)
+    if not rid or os.sep in rid or rid.startswith(".") or rid in (os.curdir, os.pardir):
+        raise ValueError(f"invalid record id {record_id!r}")
+    return rid
+
+
+class ExperimentStore:
+    """File-backed records for the tuning service (see module docstring).
+
+    All writes are atomic and idempotent — re-putting a record after a
+    crash simply republishes it, which is what the queue's at-least-once
+    execution needs.
+    """
+
+    def __init__(self, root: str):
+        self.root = str(root)
+        for sub in _KIND_DIRS.values():
+            os.makedirs(os.path.join(self.root, sub), exist_ok=True)
+        os.makedirs(os.path.join(self.root, "curves"), exist_ok=True)
+
+    # -- generic records --------------------------------------------------------
+    def _path(self, kind: str, record_id: str) -> str:
+        if kind not in _KIND_DIRS:
+            raise ValueError(f"unknown record kind {kind!r}; choose from {RECORD_KINDS}")
+        return os.path.join(self.root, _KIND_DIRS[kind], _safe_id(record_id) + ".json")
+
+    def put(self, kind: str, record_id: str, fields: Dict) -> str:
+        """Atomically persist one record; returns its path. The envelope
+        stamps the format version, kind, and id around the fields."""
+        record = {
+            "format_version": STORE_FORMAT_VERSION,
+            "kind": kind,
+            "id": _safe_id(record_id),
+            "fields": fields,
+        }
+        return atomic_write_json(self._path(kind, record_id), record)
+
+    def get(self, kind: str, record_id: str) -> Optional[Dict]:
+        """The record's fields, or ``None`` when absent.
+
+        A file that exists but fails to load — torn by a crash older than
+        the atomic-write discipline, or damaged on disk — is quarantined
+        as ``<path>.corrupt[.N]`` with a warning and reported as a miss,
+        so one bad record never wedges the service. A valid JSON file
+        with the wrong format version raises :class:`StoreError` (it is a
+        readable record from another build; destroying it would be worse).
+        """
+        path = self._path(kind, record_id)
+        try:
+            record = read_json(path)
+        except FileNotFoundError:
+            return None
+        except Exception as exc:
+            target = quarantine(path) or path
+            warnings.warn(
+                f"corrupt store record {path}: {exc!r}; quarantined as "
+                f"{target}, treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if not isinstance(record, dict) or "format_version" not in record:
+            target = quarantine(path) or path
+            warnings.warn(
+                f"store file {path} is not a record envelope; quarantined "
+                f"as {target}, treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        if record["format_version"] != STORE_FORMAT_VERSION:
+            raise StoreError(
+                f"record {path} has format version {record['format_version']!r}; "
+                f"this build reads version {STORE_FORMAT_VERSION}"
+            )
+        return record.get("fields")
+
+    def ids(self, kind: str) -> List[str]:
+        """All record ids of one kind, sorted."""
+        if kind not in _KIND_DIRS:
+            raise ValueError(f"unknown record kind {kind!r}; choose from {RECORD_KINDS}")
+        directory = os.path.join(self.root, _KIND_DIRS[kind])
+        return sorted(
+            name[: -len(".json")]
+            for name in os.listdir(directory)
+            if name.endswith(".json")
+        )
+
+    # -- hierarchy conveniences -------------------------------------------------
+    def put_project(self, project_id: str, **fields) -> str:
+        return self.put("project", project_id, fields)
+
+    def put_experiment(self, experiment_id: str, project_id: str, **fields) -> str:
+        fields = dict(fields, project_id=project_id)
+        return self.put("experiment", experiment_id, fields)
+
+    def put_run(self, run_id: str, experiment_id: str, **fields) -> str:
+        fields = dict(fields, experiment_id=experiment_id)
+        return self.put("run", run_id, fields)
+
+    def put_validation(self, run_id: str, **fields) -> str:
+        fields = dict(fields, run_id=run_id)
+        return self.put("validation", run_id, fields)
+
+    # -- incumbent-curve stream -------------------------------------------------
+    def _curve_journal(self, run_id: str) -> Journal:
+        return Journal(os.path.join(self.root, "curves", _safe_id(run_id) + ".jsonl"))
+
+    def append_curve_points(self, run_id: str, points: List[Dict]) -> None:
+        """Append curve points (each a dict carrying an ``index`` key) to
+        the run's stream. At-least-once: duplicates are fine — readers
+        deduplicate by index."""
+        journal = self._curve_journal(run_id)
+        for point in points:
+            if "index" not in point:
+                raise ValueError("curve points must carry an 'index' key")
+            journal.append(point)
+
+    def curve_points(self, run_id: str, start: int = 0) -> List[Dict]:
+        """The run's curve points with ``index >= start``, deduplicated by
+        index and sorted — the exact materialized view regardless of
+        crash-induced re-appends."""
+        seen: Dict[int, Dict] = {}
+        for point in self._curve_journal(run_id).replay():
+            index = point.get("index")
+            if isinstance(index, int) and index >= start:
+                seen[index] = point
+        return [seen[i] for i in sorted(seen)]
+
+    def curve_count(self, run_id: str) -> int:
+        """Number of distinct curve indices streamed so far (the resume
+        cursor for a :class:`repro.service.worker.StreamingCheckpointer`)."""
+        return len(self.curve_points(run_id))

@@ -228,3 +228,87 @@ class TestCohortModeKeySeparation:
         )
         vect_ctx = self.context_for(tmp_path, "vectorized")
         assert store.get(vect_ctx.bank_key_fields("cifar10")) is None
+
+
+class TestConcurrentWriters:
+    """Two *processes* hammering put() on the same key must never expose a
+    torn file to a concurrent reader: every get() during the race loads a
+    complete bank from exactly one writer (os.replace atomicity), and the
+    survivor is bit-exact."""
+
+    _WRITER = """
+import sys
+import numpy as np
+sys.path.insert(0, {src!r})
+from repro.engine.bank_store import BankStore
+from repro.experiments.bank import BANK_ID_KEY, ConfigBank
+
+seed = int(sys.argv[2])
+rng = np.random.default_rng(seed)
+checkpoints = [0, 1, 3, 9]
+configs = [
+    {{"server_lr": float(rng.uniform(1e-6, 1e-1)), "batch_size": 8, BANK_ID_KEY: i}}
+    for i in range(4)
+]
+bank = ConfigBank(
+    dataset_name="synthetic",
+    configs=configs,
+    checkpoints=checkpoints,
+    errors=rng.random((4, len(checkpoints), 6)),
+    weights_weighted=rng.integers(1, 50, size=6).astype(np.float64),
+    weights_uniform=np.ones(6),
+    params=None,
+)
+store = BankStore(sys.argv[1])
+fields = dict(dataset="synthetic", preset="test", seed=0, n_configs=4, max_rounds=9)
+for _ in range(25):
+    store.put(fields, bank)
+print("done")
+"""
+
+    def test_racing_processes_never_tear_the_store(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        import warnings
+
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            "src",
+        )
+        script = self._WRITER.format(src=src)
+        writers = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(tmp_path), str(seed)],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for seed in (1, 2)
+        ]
+        valid = {
+            seed: make_bank(seed=seed).errors for seed in (1, 2)
+        }
+        store = BankStore(tmp_path)
+        observed = set()
+        # Read continuously while both writers race on the same key. A
+        # torn write would surface as a quarantine warning (load failure)
+        # or an errors array matching neither writer.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            while any(w.poll() is None for w in writers):
+                bank = store.get(FIELDS)
+                if bank is None:
+                    continue  # nothing published yet
+                matches = [s for s, errs in valid.items()
+                           if np.array_equal(bank.errors, errs)]
+                assert matches, "reader observed a bank neither writer wrote"
+                observed.add(matches[0])
+        for writer in writers:
+            out, err = writer.communicate(timeout=60)
+            assert writer.returncode == 0, err
+            assert out.strip() == "done"
+        # The store holds exactly one entry and it is one writer's bank,
+        # bit-exact.
+        assert len(store) == 1
+        final = store.get(FIELDS)
+        assert any(np.array_equal(final.errors, errs) for errs in valid.values())
+        assert observed  # the reader actually raced the writers

@@ -721,9 +721,9 @@ class TestCorruptCheckpointQuarantine:
 
 
 # ---------------------------------------------------------------------------
-# SIGTERM: checkpoint-and-exit at the next safe boundary
+# SIGTERM / SIGINT: checkpoint-and-exit at the next safe boundary
 # ---------------------------------------------------------------------------
-_SIGTERM_CHILD = """\
+_PREEMPT_CHILD = """\
 import os, pickle, signal, sys
 
 sys.path.insert(0, {test_dir!r})
@@ -732,6 +732,7 @@ from test_faults import make_tuner, mlp_dataset
 from repro.engine.checkpoint import RunCheckpointer, resume_checkpoint
 
 mode, ckpt, out = sys.argv[1], sys.argv[2], sys.argv[3]
+sig = getattr(signal, sys.argv[4]) if len(sys.argv) > 4 else signal.SIGTERM
 dataset = mlp_dataset()
 tuner = make_tuner(dataset)
 
@@ -745,10 +746,10 @@ elif mode == "victim":
         wrote = orig(tuner, force=force)
         if wrote and not fired[0]:
             fired[0] = True
-            os.kill(os.getpid(), signal.SIGTERM)
+            os.kill(os.getpid(), sig)
         return wrote
     hook.save = save
-    tuner.run(checkpoint=hook)  # exits via SystemExit(143) at a boundary
+    tuner.run(checkpoint=hook)  # exits via SystemExit(128 + sig) at a boundary
     raise AssertionError("victim was not terminated")
 elif mode == "resume":
     resume_checkpoint(tuner, ckpt)
@@ -768,23 +769,26 @@ with open(out, "wb") as fh:
 """
 
 
-class TestSigtermCheckpoint:
-    def _run_child(self, script, mode, ckpt, out):
+class TestPreemptCheckpoint:
+    def _run_child(self, script, mode, ckpt, out, sig_name="SIGTERM"):
         env = dict(os.environ)
         return subprocess.run(
-            [sys.executable, script, mode, ckpt, out],
+            [sys.executable, script, mode, ckpt, out, sig_name],
             capture_output=True,
             text=True,
             timeout=300,
             env=env,
         )
 
-    def test_sigterm_saves_and_exits_then_resumes_bit_identically(self, tmp_path):
+    @pytest.mark.parametrize("sig_name", ["SIGTERM", "SIGINT"])
+    def test_signal_saves_and_exits_then_resumes_bit_identically(
+        self, tmp_path, sig_name
+    ):
         script = str(tmp_path / "child.py")
         repo = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
         with open(script, "w") as fh:
             fh.write(
-                _SIGTERM_CHILD.format(
+                _PREEMPT_CHILD.format(
                     test_dir=os.path.dirname(os.path.abspath(__file__)),
                     src_dir=os.path.join(repo, "src"),
                 )
@@ -793,16 +797,16 @@ class TestSigtermCheckpoint:
         ref_out = str(tmp_path / "ref.pkl")
         res_out = str(tmp_path / "resumed.pkl")
 
-        ref = self._run_child(script, "ref", ckpt, ref_out)
+        ref = self._run_child(script, "ref", ckpt, ref_out, sig_name)
         assert ref.returncode == 0, ref.stderr
 
-        victim = self._run_child(script, "victim", ckpt, str(tmp_path / "x.pkl"))
-        # 128 + SIGTERM: the run saved a final checkpoint and exited
-        # cleanly instead of dying mid-step.
-        assert victim.returncode == 128 + signal_num(), victim.stderr
+        victim = self._run_child(script, "victim", ckpt, str(tmp_path / "x.pkl"), sig_name)
+        # 128 + signum: the run saved a final checkpoint and exited
+        # cleanly instead of dying mid-step (143 SIGTERM, 130 SIGINT).
+        assert victim.returncode == 128 + signal_num(sig_name), victim.stderr
         assert os.path.exists(ckpt)
 
-        resumed = self._run_child(script, "resume", ckpt, res_out)
+        resumed = self._run_child(script, "resume", ckpt, res_out, sig_name)
         assert resumed.returncode == 0, resumed.stderr
 
         with open(ref_out, "rb") as fh:
@@ -815,19 +819,21 @@ class TestSigtermCheckpoint:
         both_nan = np.isnan(actual["final"]) and np.isnan(expected["final"])
         assert same or both_nan
 
-    def test_sigterm_untouched_without_checkpointer(self, dataset):
-        """Without a checkpointer the handler is never installed."""
+    def test_signals_untouched_without_checkpointer(self, dataset):
+        """Without a checkpointer no handler is ever installed."""
         import signal as _signal
 
-        before = _signal.getsignal(_signal.SIGTERM)
+        before_term = _signal.getsignal(_signal.SIGTERM)
+        before_int = _signal.getsignal(_signal.SIGINT)
         make_tuner(dataset).run()
-        assert _signal.getsignal(_signal.SIGTERM) is before
+        assert _signal.getsignal(_signal.SIGTERM) is before_term
+        assert _signal.getsignal(_signal.SIGINT) is before_int
 
 
-def signal_num():
+def signal_num(sig_name="SIGTERM"):
     import signal as _signal
 
-    return int(_signal.SIGTERM)
+    return int(getattr(_signal, sig_name))
 
 
 # ---------------------------------------------------------------------------

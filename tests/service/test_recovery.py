@@ -1,0 +1,201 @@
+"""Crash-recovery contract of the tuning service (slow tier / nightly
+``service-recovery`` CI job).
+
+The hard guarantee under test: ``kill -9`` the runner daemon mid-sweep
+with leased jobs in flight, restart it, and every job resumes from its
+last checkpoint and finishes with results **byte-identical** to an
+uninterrupted reference run — including a job running under an active
+``--faults`` injection spec. Plus the subprocess-level graceful-drain
+contract: SIGTERM/SIGINT exit with code 128+signum after checkpointing.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import JobSpec, JobQueue
+from repro.service.queue import DONE
+
+pytestmark = pytest.mark.slow
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+TINY = dict(dataset="cifar10", setting="noisy", preset="test",
+            k=16, n_bank_configs=4, total_budget=144)
+
+#: The three-job workload: two tenants, two methods, one job under an
+#: active fault-injection spec.
+WORKLOAD = [
+    (dict(TINY, method="rs"), "alice"),
+    (dict(TINY, method="tpe"), "alice"),
+    (dict(TINY, method="rs", faults="dropout=0.2,straggler=0.1,seed=3"), "bob"),
+]
+
+
+def submit_workload(root):
+    queue = JobQueue(os.path.join(root, "queue"))
+    return [
+        queue.submit(JobSpec(**spec).to_dict(), tenant=tenant)
+        for spec, tenant in WORKLOAD
+    ]
+
+
+def serve_cmd(root, *extra):
+    return [sys.executable, "-m", "repro.service", "run", "--root", root,
+            "--slots", "2", "--lease", "2", "--heartbeat", "0.5", *extra]
+
+
+def serve_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return env
+
+
+def run_to_completion(root, timeout=600):
+    proc = subprocess.run(
+        serve_cmd(root, "--once"), env=serve_env(),
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc
+
+
+def result_bytes(root, job_ids):
+    out = {}
+    for job_id in job_ids:
+        with open(os.path.join(root, "results", f"{job_id}.json"), "rb") as fh:
+            out[job_id] = fh.read()
+    return out
+
+
+def wait_for(predicate, timeout=120, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+class TestKillNineRecovery:
+    def test_killed_daemon_recovers_bit_identically(self, tmp_path):
+        # Reference: the workload run uninterrupted.
+        ref_root = str(tmp_path / "ref")
+        ref_ids = submit_workload(ref_root)
+        run_to_completion(ref_root)
+        expected = result_bytes(ref_root, ref_ids)
+
+        # Victim: same workload (seq ids align), killed -9 mid-sweep.
+        victim_root = str(tmp_path / "victim")
+        victim_ids = submit_workload(victim_root)
+        assert victim_ids == ref_ids
+        daemon = subprocess.Popen(
+            serve_cmd(victim_root), env=serve_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            # Wait until at least one job has durable mid-run progress.
+            jobs_dir = os.path.join(victim_root, "jobs")
+            assert wait_for(
+                lambda: any(
+                    os.path.exists(os.path.join(jobs_dir, j, "run.ckpt"))
+                    for j in victim_ids
+                )
+            ), daemon.stderr.read().decode() if daemon.poll() is not None else "no checkpoint appeared"
+            assert daemon.poll() is None, "daemon died before the kill"
+        finally:
+            daemon.kill()  # SIGKILL: no handler runs, leases stay held
+        daemon.wait(timeout=30)
+        assert daemon.returncode == -signal.SIGKILL
+
+        # Restart: expired leases requeue, checkpoints resume, the sweep
+        # finishes — byte-identical to the uninterrupted reference.
+        run_to_completion(victim_root)
+        queue = JobQueue(os.path.join(victim_root, "queue"))
+        for job_id in victim_ids:
+            job = queue.job(job_id)
+            assert job["state"] == DONE, job
+        assert result_bytes(victim_root, victim_ids) == expected
+
+    def test_restart_is_idempotent(self, tmp_path):
+        # A second --once pass over a finished root changes nothing: DONE
+        # jobs never re-lease and results keep their bytes.
+        root = str(tmp_path / "svc")
+        ids = submit_workload(root)
+        run_to_completion(root)
+        before = result_bytes(root, ids)
+        mtimes = {
+            j: os.path.getmtime(os.path.join(root, "results", f"{j}.json"))
+            for j in ids
+        }
+        run_to_completion(root)
+        assert result_bytes(root, ids) == before
+        for job_id in ids:
+            assert os.path.getmtime(
+                os.path.join(root, "results", f"{job_id}.json")
+            ) == mtimes[job_id]
+
+
+class TestSignalDrain:
+    @pytest.mark.parametrize("sig", [signal.SIGTERM, signal.SIGINT])
+    def test_drain_exits_128_plus_signum_and_resumes(self, tmp_path, sig):
+        ref_root = str(tmp_path / "ref")
+        ref_ids = submit_workload(ref_root)
+        run_to_completion(ref_root)
+        expected = result_bytes(ref_root, ref_ids)
+
+        root = str(tmp_path / "svc")
+        ids = submit_workload(root)
+        daemon = subprocess.Popen(
+            serve_cmd(root), env=serve_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        )
+        try:
+            jobs_dir = os.path.join(root, "jobs")
+            assert wait_for(
+                lambda: any(
+                    os.path.exists(os.path.join(jobs_dir, j, "run.ckpt"))
+                    for j in ids
+                )
+            )
+            daemon.send_signal(sig)
+            daemon.wait(timeout=120)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+        # Graceful drain: checkpoint at a safe boundary, release, exit
+        # 128+signum (143 SIGTERM / 130 SIGINT).
+        assert daemon.returncode == 128 + sig, daemon.stderr.read().decode()
+
+        run_to_completion(root)
+        assert result_bytes(root, ids) == expected
+
+
+class TestPoisonUnderDaemon:
+    def test_poison_job_quarantined_by_subprocess_daemon(self, tmp_path):
+        root = str(tmp_path / "svc")
+        queue = JobQueue(os.path.join(root, "queue"))
+        poison = queue.submit(
+            JobSpec(**dict(TINY, method="rs", dataset="imagenet")).to_dict(),
+            tenant="alice",
+        )
+        good = queue.submit(JobSpec(**dict(TINY, method="rs")).to_dict(),
+                            tenant="bob")
+        proc = subprocess.run(
+            serve_cmd(root, "--once", "--max-failures", "2"), env=serve_env(),
+            capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert queue.job(poison)["state"] == "QUARANTINED"
+        assert "unknown dataset" in queue.job(poison)["error"]
+        assert queue.job(good)["state"] == DONE
+        result = json.load(
+            open(os.path.join(root, "results", f"{good}.json"))
+        )
+        assert result["method"] == "rs"

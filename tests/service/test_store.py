@@ -1,0 +1,149 @@
+"""Tests for the persistent experiment store: atomic records, corrupt
+quarantine, and the streamable incumbent-curve log."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.store import (
+    RECORD_KINDS,
+    STORE_FORMAT_VERSION,
+    ExperimentStore,
+    StoreError,
+)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ExperimentStore(str(tmp_path / "store"))
+
+
+class TestRecords:
+    def test_put_get_roundtrip(self, store):
+        fields = {"dataset": "cifar10", "method": "tpe", "nested": {"a": [1, 2]}}
+        store.put("run", "j0001", fields)
+        assert store.get("run", "j0001") == fields
+
+    def test_missing_record_is_none(self, store):
+        assert store.get("run", "never") is None
+
+    def test_put_overwrites(self, store):
+        store.put("project", "alice", {"v": 1})
+        store.put("project", "alice", {"v": 2})
+        assert store.get("project", "alice") == {"v": 2}
+
+    def test_ids_sorted_per_kind(self, store):
+        store.put("run", "j0002", {})
+        store.put("run", "j0001", {})
+        store.put("project", "alice", {})
+        assert store.ids("run") == ["j0001", "j0002"]
+        assert store.ids("project") == ["alice"]
+
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(ValueError, match="unknown record kind"):
+            store.put("job", "x", {})
+        with pytest.raises(ValueError, match="unknown record kind"):
+            store.ids("job")
+
+    @pytest.mark.parametrize("bad", ["", "../escape", ".hidden", "a/b"])
+    def test_path_tricky_ids_rejected(self, store, bad):
+        with pytest.raises(ValueError, match="invalid record id"):
+            store.put("run", bad, {})
+
+    def test_hierarchy_conveniences_link_records(self, store):
+        store.put_project("alice", tenant="alice")
+        store.put_experiment("alice-cifar10-rs-noisy", "alice", dataset="cifar10")
+        store.put_run("j0001", "alice-cifar10-rs-noisy", final_full_error=0.5)
+        store.put_validation("j0001", n_observations=4)
+        assert store.get("experiment", "alice-cifar10-rs-noisy")["project_id"] == "alice"
+        assert store.get("run", "j0001")["experiment_id"] == "alice-cifar10-rs-noisy"
+        assert store.get("validation", "j0001")["run_id"] == "j0001"
+
+    def test_all_kinds_roundtrip(self, store):
+        for kind in RECORD_KINDS:
+            store.put(kind, "x", {"kind": kind})
+            assert store.get(kind, "x") == {"kind": kind}
+
+
+class TestCorruption:
+    def _record_path(self, store, kind, record_id):
+        return store._path(kind, record_id)
+
+    def test_corrupt_record_quarantined_and_miss(self, store):
+        store.put("run", "j0001", {"ok": True})
+        path = self._record_path(store, "run", "j0001")
+        with open(path, "w") as fh:
+            fh.write("{torn json")
+        with pytest.warns(RuntimeWarning, match="corrupt store record"):
+            assert store.get("run", "j0001") is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_repeat_corruption_gets_collision_safe_suffix(self, store):
+        # Satellite contract: each corruption event keeps its own evidence
+        # file — .corrupt, then .corrupt.1, .corrupt.2, ...
+        path = self._record_path(store, "run", "j0001")
+        for i in range(3):
+            with open(path, "w") as fh:
+                fh.write(f"{{torn {i}")
+            with pytest.warns(RuntimeWarning):
+                assert store.get("run", "j0001") is None
+        assert os.path.exists(path + ".corrupt")
+        assert os.path.exists(path + ".corrupt.1")
+        assert os.path.exists(path + ".corrupt.2")
+        with open(path + ".corrupt") as fh:
+            assert fh.read() == "{torn 0"  # oldest evidence intact
+
+    def test_non_envelope_json_quarantined(self, store):
+        path = self._record_path(store, "run", "j0001")
+        with open(path, "w") as fh:
+            json.dump([1, 2, 3], fh)
+        with pytest.warns(RuntimeWarning, match="not a record envelope"):
+            assert store.get("run", "j0001") is None
+        assert os.path.exists(path + ".corrupt")
+
+    def test_version_mismatch_raises_and_keeps_file(self, store):
+        path = self._record_path(store, "run", "j0001")
+        with open(path, "w") as fh:
+            json.dump({"format_version": STORE_FORMAT_VERSION + 1, "fields": {}}, fh)
+        with pytest.raises(StoreError, match="format version"):
+            store.get("run", "j0001")
+        assert os.path.exists(path)  # a valid record from another build
+        assert not os.path.exists(path + ".corrupt")
+
+
+class TestCurveStream:
+    def test_points_require_index(self, store):
+        with pytest.raises(ValueError, match="index"):
+            store.append_curve_points("j0001", [{"full_error": 0.5}])
+
+    def test_append_and_read_back_sorted(self, store):
+        store.append_curve_points(
+            "j0001",
+            [{"index": 1, "e": 0.4}, {"index": 0, "e": 0.5}],
+        )
+        points = store.curve_points("j0001")
+        assert [p["index"] for p in points] == [0, 1]
+
+    def test_at_least_once_duplicates_deduplicate(self, store):
+        # The crash-between-checkpoint-and-append case: a resume
+        # re-appends overlapping points; the last write wins per index.
+        store.append_curve_points("j0001", [{"index": 0, "e": 0.5}])
+        store.append_curve_points(
+            "j0001", [{"index": 0, "e": 0.5}, {"index": 1, "e": 0.4}]
+        )
+        points = store.curve_points("j0001")
+        assert [p["index"] for p in points] == [0, 1]
+        assert store.curve_count("j0001") == 2
+
+    def test_start_cursor_filters(self, store):
+        store.append_curve_points(
+            "j0001", [{"index": i, "e": 1.0 - i / 10} for i in range(5)]
+        )
+        points = store.curve_points("j0001", start=3)
+        assert [p["index"] for p in points] == [3, 4]
+
+    def test_unknown_run_streams_empty(self, store):
+        assert store.curve_points("never") == []
+        assert store.curve_count("never") == 0

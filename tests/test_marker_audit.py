@@ -1,0 +1,85 @@
+"""Audit of the test-tier markers: the fast tier must keep collecting the
+smoke coverage this repo's CI gates on, and the slow tier must keep its
+long-running suites out of the default run.
+
+These assertions pin *collection*, not outcomes — a rename, an accidental
+``slow`` mark on a smoke file, or a dropped test module silently shrinks
+the fast tier; this file turns that into a loud failure.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Fast-tier smoke coverage CI relies on: (path, minimum test count).
+FAST_TIER_FLOORS = [
+    # The figfaults sweep smoke tests (fault injection is fast-tier).
+    ("tests/experiments/test_fig_faults.py", 5),
+    # The tuning-service smoke suites: store, journal, queue, worker,
+    # daemon, REST — all fast-tier; only cross-process recovery is slow.
+    ("tests/service/test_store.py", 10),
+    ("tests/service/test_journal.py", 5),
+    ("tests/service/test_queue.py", 10),
+    ("tests/service/test_worker.py", 8),
+    ("tests/service/test_daemon.py", 4),
+    ("tests/service/test_http.py", 5),
+]
+
+#: Suites that must stay OUT of the fast tier (every test slow-marked).
+SLOW_ONLY = [
+    "tests/service/test_recovery.py",
+]
+
+
+def collect_count(path, marker_expr):
+    """Number of tests pytest would run for ``path`` under ``-m expr``."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", path, "--collect-only", "-q",
+         "-m", marker_expr, "-p", "no:cacheprovider",
+         "--override-ini", "addopts="],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    # 5 = no tests collected (a legal answer here), 0 = collected fine.
+    assert proc.returncode in (0, 5), proc.stderr
+    last = [line for line in proc.stdout.splitlines() if line.strip()][-1]
+    if "no tests" in last:
+        return 0
+    # "N tests collected ..." / "N/M tests collected ..."
+    head = last.split()[0]
+    return int(head.split("/")[0])
+
+
+@pytest.mark.parametrize("path, floor", FAST_TIER_FLOORS,
+                         ids=[p for p, _ in FAST_TIER_FLOORS])
+def test_fast_tier_collects_smoke_suite(path, floor):
+    assert os.path.exists(os.path.join(REPO, path)), f"{path} was removed"
+    count = collect_count(path, "not slow")
+    assert count >= floor, (
+        f"fast tier collects only {count} tests from {path} "
+        f"(floor {floor}) — did a smoke test grow a slow marker?"
+    )
+
+
+@pytest.mark.parametrize("path", SLOW_ONLY)
+def test_slow_suites_stay_out_of_the_fast_tier(path):
+    assert os.path.exists(os.path.join(REPO, path)), f"{path} was removed"
+    assert collect_count(path, "not slow") == 0, (
+        f"{path} leaked into the fast tier — it runs subprocess daemons "
+        "and belongs to the nightly service-recovery job"
+    )
+    assert collect_count(path, "slow") >= 4, (
+        f"the slow tier lost {path}'s recovery coverage"
+    )
+
+
+def test_default_addopts_select_the_fast_tier():
+    with open(os.path.join(REPO, "pytest.ini")) as fh:
+        ini = fh.read()
+    assert 'addopts = -m "not slow"' in ini
